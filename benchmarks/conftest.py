@@ -1,0 +1,36 @@
+"""Benchmark harness plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures and
+registers a human-readable report; the reports are printed in the
+terminal summary (so ``pytest benchmarks/ --benchmark-only | tee ...``
+captures them) and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_REPORTS: dict[str, str] = {}
+
+
+def publish_report(name: str, text: str) -> None:
+    """Register a table/figure report for the terminal summary + disk."""
+    _REPORTS[name] = text
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for name in sorted(_REPORTS):
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(_REPORTS[name])

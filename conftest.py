@@ -1,0 +1,13 @@
+"""Repo-root pytest configuration.
+
+Makes the src/ layout importable even when the package has not been
+pip-installed (the offline environment lacks ``wheel``, which PEP 517
+editable installs require).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,78 @@
+"""Backbone operations: circuit capacity, migration, and atomic deployment.
+
+The incremental-change workflow of sections 2.3 and 5.1.2: build a small
+backbone, augment long-haul capacity, migrate a circuit between routers
+(watching the dependency cascade across interface, prefix, and session
+objects), then regenerate and atomically deploy the affected configs —
+rolling the whole transaction back when a device fails mid-deploy.
+
+Run:  python examples/backbone_circuit_migration.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Robotron, seed_environment
+from repro.fbnet.models import Circuit, Device
+
+
+def main() -> None:
+    robotron = Robotron()
+    env = seed_environment(robotron.store)
+    tool = robotron.backbone
+    site1, site2 = env.backbone_sites["bbs01"], env.backbone_sites["bbs02"]
+
+    print("== Build a 3-router backbone ==")
+    with robotron.design_change(
+        employee_id="e200", ticket_id="BB-3001", domain="backbone",
+        description="backbone turn-up",
+    ):
+        tool.add_router("bb1.bbs01", site1, "Router_Vendor1")
+        tool.add_router("bb2.bbs02", site2, "Router_Vendor1")
+        tool.add_router("bb3.bbs02", site2, "Router_Vendor1")
+        tool.add_circuit("bb1.bbs01", "bb2.bbs02")
+        tool.add_circuit("bb1.bbs01", "bb2.bbs02")
+    robotron.boot_fleet()
+    devices = robotron.store.all(Device)
+    assert robotron.deployer.initial_provision(
+        robotron.generator.generate_devices(devices)
+    ).ok
+    print(f"{len(devices)} routers provisioned; "
+          f"{robotron.store.count(Circuit)} circuits in FBNet\n")
+
+    print("== Augment capacity, then migrate a circuit ==")
+    with robotron.design_change(
+        employee_id="e200", ticket_id="BB-3002", domain="backbone",
+        description="migrate one bb1-bb2 circuit to bb3",
+    ) as change:
+        circuit = robotron.store.all(Circuit)[0]
+        report = tool.migrate_circuit(circuit.name, "bb3.bbs02")
+    print(f"migrated {report['circuit']} onto bundle {report['bundle']}")
+    print("dependency cascade (objects changed):")
+    print(change.summary.describe(), "\n")
+
+    print("== Regenerate and deploy atomically ==")
+    robotron.fleet.sync_wiring(robotron.store)
+    configs = robotron.generator.generate_devices(robotron.store.all(Device))
+    dryrun = robotron.deployer.dryrun(configs)
+    print("dryrun diffs (changed lines per device):", dryrun.changed_lines)
+
+    # First attempt: a device fails mid-transaction -> full rollback.
+    robotron.fleet.get("bb2.bbs02").fail_next_commits = 1
+    attempt = robotron.deployer.atomic_deploy(configs)
+    print(f"attempt 1: ok={attempt.ok}; rolled back {attempt.rolled_back}")
+
+    # Second attempt succeeds.
+    attempt = robotron.deployer.atomic_deploy(configs)
+    print(f"attempt 2: ok={attempt.ok}; updated {len(attempt.succeeded)} devices")
+
+    bb3 = robotron.fleet.get("bb3.bbs02")
+    aggs = [n for n in bb3.interface_names() if n.startswith("ae")]
+    print("bb3 bundle state:",
+          {name: bb3.interface_oper_status(name) for name in aggs})
+
+
+if __name__ == "__main__":
+    main()

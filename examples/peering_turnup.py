@@ -1,0 +1,66 @@
+"""Peering turn-up with an import policy — and the section-8 lesson.
+
+Provisions a transit interconnect on a POP's peering router: external AS,
+interconnect addressing, the eBGP session toward the ISP, and the
+cherry-picked-prefix import policy whose absence caused the paper's
+link-saturation incident.  The post-incident design rule flags any
+external session still missing its policy.
+
+Run:  python examples/peering_turnup.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Robotron, seed_environment
+from repro.design.peering import (
+    PeeringDesignTool,
+    rule_external_sessions_have_import_policy,
+)
+from repro.fbnet.models import ClusterGeneration, Device
+from repro.fbnet.query import Expr, Op
+
+
+def main() -> None:
+    robotron = Robotron()
+    env = seed_environment(robotron.store)
+    robotron.build_cluster("pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2)
+    robotron.boot_fleet()
+    pr1 = robotron.store.first(Device, Expr("name", Op.EQUAL, "pop01.c01.pr1"))
+    tool = PeeringDesignTool(robotron.store)
+
+    print("== Turn-up with a cherry-picked-prefix import policy ==")
+    policy = tool.create_import_policy(
+        "examplenet-in", ["2a00:100::/32", "2a00:200::/32"],
+        description="only serve users behind ExampleNet's announced blocks",
+    )
+    with robotron.design_change(
+        employee_id="e300", ticket_id="PEER-1", domain="pop",
+        description="transit to ExampleNet",
+    ):
+        link = tool.turn_up(
+            pr1, "ExampleNet", 64512, kind="transit", import_policy=policy
+        )
+    session = link.related("bgp_session")
+    print(f"session {session.local_ip} -> {session.peer_ip} (AS{session.peer_asn})")
+
+    config = robotron.generator.generate_device(pr1)
+    policy_lines = [l for l in config.lines() if "examplenet-in" in l]
+    print("policy rendering in the PR config:")
+    print("\n".join(f"  {line}" for line in policy_lines))
+
+    print("\n== The section-8 scenario: a session without its policy ==")
+    with robotron.design_change(
+        employee_id="e301", ticket_id="PEER-2", domain="pop",
+        description="peering to RiskyNet (policy still in development)",
+    ):
+        tool.turn_up(pr1, "RiskyNet", 64999)  # no import policy!
+    for violation in rule_external_sessions_have_import_policy(robotron.store):
+        print(f"design rule: {violation}")
+    print("(the incident's fix: this rule now gates peering turn-ups)")
+
+
+if __name__ == "__main__":
+    main()

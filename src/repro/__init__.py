@@ -1,0 +1,55 @@
+"""repro — a reproduction of *Robotron: Top-down Network Management at
+Facebook Scale* (SIGCOMM 2016).
+
+Robotron manages a production network top-down: engineers express
+high-level design intent; the system translates it into distributed,
+vendor-specific device configurations, deploys them safely, and monitors
+the network for deviation from the desired state.
+
+Quickstart::
+
+    from repro import Robotron, seed_environment
+    from repro.fbnet.models import ClusterGeneration
+
+    robotron = Robotron()
+    env = seed_environment(robotron.store)
+    cluster = robotron.build_cluster(
+        "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+    )
+    robotron.boot_fleet()
+    robotron.provision_cluster(cluster)
+    robotron.attach_monitoring()
+    robotron.run_minutes(10)
+    assert robotron.audit().clean
+
+Package map (paper section in parentheses):
+
+* :mod:`repro.fbnet` — the FBNet object store, models, query language,
+  APIs, RPC service layer, and replication (section 4);
+* :mod:`repro.design` — topology templates, materialization, IPAM,
+  portmap change plans, backbone tools, validation, design changes
+  (section 5.1);
+* :mod:`repro.configgen` — template engine, Thrift-like config schema,
+  vendor templates, Configerator, the generation pipeline (section 5.2);
+* :mod:`repro.deploy` — initial provisioning and the dryrun / atomic /
+  phased / confirmed deployment modes (section 5.3);
+* :mod:`repro.devices` — emulated multi-vendor devices and the fleet;
+* :mod:`repro.monitoring` — passive syslog, the three-tier active
+  pipeline, config monitoring, Desired-vs-Derived audits (section 5.4);
+* :mod:`repro.simulation` — deterministic clock and workload generators;
+* :mod:`repro.core` — the Robotron facade and environment seeding.
+"""
+
+from repro.core.robotron import Robotron
+from repro.core.seeds import SeededEnvironment, seed_environment
+from repro.fbnet.store import ObjectStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ObjectStore",
+    "Robotron",
+    "SeededEnvironment",
+    "__version__",
+    "seed_environment",
+]

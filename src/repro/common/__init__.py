@@ -1,0 +1,40 @@
+"""Shared infrastructure used by every Robotron subsystem.
+
+This package holds the error hierarchy, small utility helpers, and the
+frozen-dataclass helpers that the rest of :mod:`repro` builds on.  Nothing in
+here knows about networks; it is deliberately dependency-free.
+"""
+
+from repro.common.errors import (
+    ConfigGenerationError,
+    DeploymentError,
+    DesignValidationError,
+    FBNetError,
+    IntegrityError,
+    MonitoringError,
+    ObjectDoesNotExist,
+    QueryError,
+    ReplicationError,
+    RobotronError,
+    RpcError,
+    TemplateError,
+    TransactionError,
+    ValidationError,
+)
+
+__all__ = [
+    "ConfigGenerationError",
+    "DeploymentError",
+    "DesignValidationError",
+    "FBNetError",
+    "IntegrityError",
+    "MonitoringError",
+    "ObjectDoesNotExist",
+    "QueryError",
+    "ReplicationError",
+    "RobotronError",
+    "RpcError",
+    "TemplateError",
+    "TransactionError",
+    "ValidationError",
+]

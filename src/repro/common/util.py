@@ -1,0 +1,106 @@
+"""Small, dependency-free helpers shared across subsystems."""
+
+from __future__ import annotations
+
+import itertools
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+
+
+def camel_to_snake(name: str) -> str:
+    """Convert ``CamelCase`` to ``snake_case``.
+
+    >>> camel_to_snake("PhysicalInterface")
+    'physical_interface'
+    >>> camel_to_snake("BgpV6Session")
+    'bgp_v6_session'
+    """
+    return _CAMEL_BOUNDARY.sub("_", name).lower()
+
+
+def chunked(items: Sequence[T], size: int) -> Iterator[Sequence[T]]:
+    """Yield successive chunks of ``items`` with at most ``size`` elements.
+
+    >>> list(chunked([1, 2, 3, 4, 5], 2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+def pairwise_circular(items: Sequence[T]) -> Iterator[tuple[T, T]]:
+    """Yield each adjacent pair of ``items`` including (last, first).
+
+    Useful for ring topologies.  Empty and single-element sequences yield
+    nothing and a self-pair respectively.
+    """
+    if not items:
+        return
+    for a, b in zip(items, itertools.chain(items[1:], [items[0]])):
+        yield a, b
+
+
+def full_mesh(items: Sequence[T]) -> Iterator[tuple[T, T]]:
+    """Yield every unordered pair of distinct elements (a full mesh)."""
+    for i, a in enumerate(items):
+        for b in items[i + 1 :]:
+            yield a, b
+
+
+def percentile(sorted_values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an already *sorted* sequence.
+
+    ``pct`` is in [0, 100].  Raises ``ValueError`` on an empty sequence.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    if pct == 0:
+        return sorted_values[0]
+    import math
+
+    rank = min(len(sorted_values), max(1, math.ceil(pct / 100.0 * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+def median(values: Iterable[float]) -> float:
+    """Median of ``values`` (average of middle two for even counts)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("median of empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean of ``values``."""
+    items = list(values)
+    if not items:
+        raise ValueError("mean of empty sequence")
+    return sum(items) / len(items)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table, used by benchmark harness output."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

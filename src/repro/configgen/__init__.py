@@ -1,0 +1,24 @@
+"""Config generation: FBNet objects → vendor-specific device configs.
+
+Robotron splits a device configuration into two parts (paper section 5.2):
+dynamic, vendor-agnostic *data* (names, IP addresses) derived from FBNet
+objects and stored as a Thrift object per device, and static,
+vendor-specific *templates* with special syntax and keywords.
+
+* :mod:`repro.configgen.engine` — the Django-template-language engine that
+  renders Figure 9's templates (``{{ var }}``, ``{% if %}``, ``{% for %}``);
+* :mod:`repro.configgen.schema` — the Thrift-like config data schema of
+  Figure 8, with validation and (de)serialization;
+* :mod:`repro.configgen.derive` — per-device config data derived from
+  FBNet objects;
+* :mod:`repro.configgen.vendors` — the two vendor template sets;
+* :mod:`repro.configgen.configerator` — the source-controlled template
+  repository with peer review (the paper's Configerator [37]);
+* :mod:`repro.configgen.generator` — the fetch → derive → render pipeline
+  of Figure 10, plus the golden-config registry.
+"""
+
+from repro.configgen.engine import Template
+from repro.configgen.generator import ConfigGenerator, DeviceConfig
+
+__all__ = ["ConfigGenerator", "DeviceConfig", "Template"]

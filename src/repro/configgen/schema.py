@@ -1,0 +1,448 @@
+"""A Thrift-like struct system for config data (paper Figure 8).
+
+Config generation stores each device's dynamic, vendor-agnostic data "as a
+Thrift object per device according to a pre-defined schema".  This module
+provides the schema machinery — typed struct definitions with required /
+optional fields and numeric field ids — plus validation, JSON round-trip,
+and a compact binary wire encoding, and defines the concrete config data
+schema used by the vendor templates (Figure 8's ``Device`` /
+``AggregatedInterface`` / ``PhysicalInterface`` structs, extended with the
+BGP, MPLS, and system sections real configs need).
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import ConfigGenerationError
+
+__all__ = [
+    "CONFIG_SCHEMA",
+    "FieldDef",
+    "SchemaRegistry",
+    "StructDef",
+    "TBool",
+    "TDouble",
+    "TI32",
+    "TI64",
+    "TList",
+    "TString",
+    "TStructRef",
+]
+
+
+# ---------------------------------------------------------------------------
+# Type system
+# ---------------------------------------------------------------------------
+
+
+class TType:
+    """Base of all schema types."""
+
+    code: int = 0  # wire type code
+
+    def validate(self, value: Any, path: str, registry: SchemaRegistry) -> None:
+        raise NotImplementedError
+
+    def encode(self, value: Any, out: bytearray, registry: SchemaRegistry) -> None:
+        raise NotImplementedError
+
+    def decode(self, data: memoryview, offset: int, registry: SchemaRegistry) -> tuple[Any, int]:
+        raise NotImplementedError
+
+
+class _TBool(TType):
+    code = 1
+
+    def validate(self, value: Any, path: str, registry: SchemaRegistry) -> None:
+        if not isinstance(value, bool):
+            raise ConfigGenerationError(f"{path}: expected bool, got {type(value).__name__}")
+
+    def encode(self, value: Any, out: bytearray, registry: SchemaRegistry) -> None:
+        out.append(1 if value else 0)
+
+    def decode(self, data: memoryview, offset: int, registry: SchemaRegistry) -> tuple[Any, int]:
+        return bool(data[offset]), offset + 1
+
+
+class _TI32(TType):
+    code = 2
+
+    def validate(self, value: Any, path: str, registry: SchemaRegistry) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigGenerationError(f"{path}: expected i32, got {type(value).__name__}")
+        if not -(2**31) <= value < 2**31:
+            raise ConfigGenerationError(f"{path}: {value} out of i32 range")
+
+    def encode(self, value: Any, out: bytearray, registry: SchemaRegistry) -> None:
+        out.extend(_struct.pack(">i", value))
+
+    def decode(self, data: memoryview, offset: int, registry: SchemaRegistry) -> tuple[Any, int]:
+        return _struct.unpack_from(">i", data, offset)[0], offset + 4
+
+
+class _TI64(TType):
+    code = 3
+
+    def validate(self, value: Any, path: str, registry: SchemaRegistry) -> None:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigGenerationError(f"{path}: expected i64, got {type(value).__name__}")
+        if not -(2**63) <= value < 2**63:
+            raise ConfigGenerationError(f"{path}: {value} out of i64 range")
+
+    def encode(self, value: Any, out: bytearray, registry: SchemaRegistry) -> None:
+        out.extend(_struct.pack(">q", value))
+
+    def decode(self, data: memoryview, offset: int, registry: SchemaRegistry) -> tuple[Any, int]:
+        return _struct.unpack_from(">q", data, offset)[0], offset + 8
+
+
+class _TDouble(TType):
+    code = 4
+
+    def validate(self, value: Any, path: str, registry: SchemaRegistry) -> None:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigGenerationError(f"{path}: expected double, got {type(value).__name__}")
+
+    def encode(self, value: Any, out: bytearray, registry: SchemaRegistry) -> None:
+        out.extend(_struct.pack(">d", float(value)))
+
+    def decode(self, data: memoryview, offset: int, registry: SchemaRegistry) -> tuple[Any, int]:
+        return _struct.unpack_from(">d", data, offset)[0], offset + 8
+
+
+class _TString(TType):
+    code = 5
+
+    def validate(self, value: Any, path: str, registry: SchemaRegistry) -> None:
+        if not isinstance(value, str):
+            raise ConfigGenerationError(f"{path}: expected string, got {type(value).__name__}")
+
+    def encode(self, value: Any, out: bytearray, registry: SchemaRegistry) -> None:
+        raw = value.encode("utf-8")
+        out.extend(_struct.pack(">I", len(raw)))
+        out.extend(raw)
+
+    def decode(self, data: memoryview, offset: int, registry: SchemaRegistry) -> tuple[Any, int]:
+        (length,) = _struct.unpack_from(">I", data, offset)
+        offset += 4
+        return bytes(data[offset : offset + length]).decode("utf-8"), offset + length
+
+
+class TList(TType):
+    """A homogeneous list of another schema type."""
+
+    code = 6
+
+    def __init__(self, element: TType):
+        self.element = element
+
+    def validate(self, value: Any, path: str, registry: SchemaRegistry) -> None:
+        if not isinstance(value, list):
+            raise ConfigGenerationError(f"{path}: expected list, got {type(value).__name__}")
+        for index, item in enumerate(value):
+            self.element.validate(item, f"{path}[{index}]", registry)
+
+    def encode(self, value: Any, out: bytearray, registry: SchemaRegistry) -> None:
+        out.extend(_struct.pack(">I", len(value)))
+        for item in value:
+            self.element.encode(item, out, registry)
+
+    def decode(self, data: memoryview, offset: int, registry: SchemaRegistry) -> tuple[Any, int]:
+        (count,) = _struct.unpack_from(">I", data, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = self.element.decode(data, offset, registry)
+            items.append(item)
+        return items, offset
+
+
+class TStructRef(TType):
+    """A reference to a named struct in the registry (allows recursion)."""
+
+    code = 7
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def validate(self, value: Any, path: str, registry: SchemaRegistry) -> None:
+        registry.get(self.name).validate(value, path, registry)
+
+    def encode(self, value: Any, out: bytearray, registry: SchemaRegistry) -> None:
+        registry.get(self.name).encode(value, out, registry)
+
+    def decode(self, data: memoryview, offset: int, registry: SchemaRegistry) -> tuple[Any, int]:
+        return registry.get(self.name).decode(data, offset, registry)
+
+
+TBool = _TBool()
+TI32 = _TI32()
+TI64 = _TI64()
+TDouble = _TDouble()
+TString = _TString()
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """One numbered struct field (``1: string name``)."""
+
+    id: int
+    name: str
+    type: TType
+    required: bool = False
+    default: Any = None
+
+
+class StructDef:
+    """A named struct: ordered, numbered, typed fields.
+
+    Values are plain dicts keyed by field name — like Thrift's dynamic
+    (serialization-schema) representation.  Unknown keys are rejected so
+    template data and schema cannot drift apart silently.
+    """
+
+    def __init__(self, name: str, fields: list[FieldDef]):
+        ids = [f.id for f in fields]
+        names = [f.name for f in fields]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"struct {name}: duplicate field ids")
+        if len(set(names)) != len(names):
+            raise ValueError(f"struct {name}: duplicate field names")
+        self.name = name
+        self.fields = sorted(fields, key=lambda f: f.id)
+        self._by_name = {f.name: f for f in fields}
+        self._by_id = {f.id: f for f in fields}
+
+    def validate(self, value: Any, path: str, registry: SchemaRegistry) -> None:
+        if not isinstance(value, dict):
+            raise ConfigGenerationError(
+                f"{path}: expected {self.name} struct (dict), got {type(value).__name__}"
+            )
+        unknown = set(value) - set(self._by_name)
+        if unknown:
+            raise ConfigGenerationError(
+                f"{path}: unknown field(s) {sorted(unknown)} for struct {self.name}"
+            )
+        for field in self.fields:
+            if field.name not in value or value[field.name] is None:
+                if field.required:
+                    raise ConfigGenerationError(
+                        f"{path}.{field.name}: required field missing"
+                    )
+                continue
+            field.type.validate(value[field.name], f"{path}.{field.name}", registry)
+
+    def normalize(self, value: dict[str, Any]) -> dict[str, Any]:
+        """Fill optional fields with their defaults (None if unspecified)."""
+        result = dict(value)
+        for field in self.fields:
+            if field.name not in result:
+                result[field.name] = field.default
+        return result
+
+    # -- binary wire format ---------------------------------------------------
+
+    def encode(self, value: dict[str, Any], out: bytearray, registry: SchemaRegistry) -> None:
+        present = [
+            f for f in self.fields if value.get(f.name) is not None
+        ]
+        out.extend(_struct.pack(">H", len(present)))
+        for field in present:
+            out.extend(_struct.pack(">HB", field.id, field.type.code))
+            field.type.encode(value[field.name], out, registry)
+
+    def decode(self, data: memoryview, offset: int, registry: SchemaRegistry) -> tuple[dict, int]:
+        (count,) = _struct.unpack_from(">H", data, offset)
+        offset += 2
+        result: dict[str, Any] = {f.name: f.default for f in self.fields}
+        for _ in range(count):
+            field_id, code = _struct.unpack_from(">HB", data, offset)
+            offset += 3
+            field = self._by_id.get(field_id)
+            if field is None or field.type.code != code:
+                raise ConfigGenerationError(
+                    f"struct {self.name}: unknown/mistyped field id {field_id}"
+                )
+            value, offset = field.type.decode(data, offset, registry)
+            result[field.name] = value
+        return result, offset
+
+
+class SchemaRegistry:
+    """Named structs plus serialization entry points."""
+
+    def __init__(self) -> None:
+        self._structs: dict[str, StructDef] = {}
+
+    def define(self, name: str, fields: list[FieldDef]) -> StructDef:
+        if name in self._structs:
+            raise ValueError(f"struct {name} already defined")
+        struct_def = StructDef(name, fields)
+        self._structs[name] = struct_def
+        return struct_def
+
+    def get(self, name: str) -> StructDef:
+        try:
+            return self._structs[name]
+        except KeyError:
+            raise ConfigGenerationError(f"unknown struct {name!r}") from None
+
+    def validate(self, struct_name: str, value: dict[str, Any]) -> dict[str, Any]:
+        """Validate ``value`` against ``struct_name``; returns it normalized."""
+        struct_def = self.get(struct_name)
+        struct_def.validate(value, struct_name, self)
+        return self._normalize_deep(struct_def, value)
+
+    def _normalize_deep(self, struct_def: StructDef, value: dict[str, Any]) -> dict[str, Any]:
+        result = struct_def.normalize(value)
+        for field in struct_def.fields:
+            item = result.get(field.name)
+            if item is None:
+                continue
+            if isinstance(field.type, TStructRef):
+                result[field.name] = self._normalize_deep(self.get(field.type.name), item)
+            elif isinstance(field.type, TList) and isinstance(field.type.element, TStructRef):
+                element = self.get(field.type.element.name)
+                result[field.name] = [self._normalize_deep(element, x) for x in item]
+        return result
+
+    def dumps(self, struct_name: str, value: dict[str, Any]) -> bytes:
+        """Serialize to the compact binary wire format (with validation)."""
+        normalized = self.validate(struct_name, value)
+        out = bytearray()
+        self.get(struct_name).encode(normalized, out, self)
+        return bytes(out)
+
+    def loads(self, struct_name: str, wire: bytes) -> dict[str, Any]:
+        """Deserialize from the binary wire format (with validation)."""
+        value, offset = self.get(struct_name).decode(memoryview(wire), 0, self)
+        if offset != len(wire):
+            raise ConfigGenerationError(
+                f"struct {struct_name}: {len(wire) - offset} trailing bytes"
+            )
+        return self.validate(struct_name, value)
+
+
+# ---------------------------------------------------------------------------
+# The concrete config data schema (Figure 8, extended)
+# ---------------------------------------------------------------------------
+
+CONFIG_SCHEMA = SchemaRegistry()
+
+CONFIG_SCHEMA.define(
+    "PhysicalInterface",
+    [
+        FieldDef(1, "name", TString, required=True),
+        FieldDef(2, "description", TString, default=""),
+        FieldDef(3, "speed_mbps", TI32, default=10_000),
+    ],
+)
+
+CONFIG_SCHEMA.define(
+    "AggregatedInterface",
+    [
+        FieldDef(1, "name", TString, required=True),
+        FieldDef(2, "number", TI32, required=True),
+        FieldDef(3, "v4_prefix", TString),
+        FieldDef(4, "v6_prefix", TString),
+        FieldDef(5, "pifs", TList(TStructRef("PhysicalInterface")), default=[]),
+        FieldDef(6, "mtu", TI32, default=9192),
+        FieldDef(7, "description", TString, default=""),
+        FieldDef(8, "lacp_fast", TBool, default=True),
+    ],
+)
+
+CONFIG_SCHEMA.define(
+    "BgpNeighbor",
+    [
+        FieldDef(1, "peer_ip", TString, required=True),
+        FieldDef(2, "peer_asn", TI64, required=True),
+        FieldDef(3, "local_ip", TString, required=True),
+        FieldDef(4, "session_type", TString, required=True),  # "ibgp"/"ebgp"
+        FieldDef(5, "address_family", TString, required=True),  # "v4"/"v6"
+        FieldDef(6, "description", TString, default=""),
+        # Drained devices keep their neighbor stanzas but shut them down
+        # (the drain/undrain procedure of paper section 1).
+        FieldDef(7, "shutdown", TBool, default=False),
+        # Name of the import policy filtering this neighbor (section 8's
+        # cherry-picked-prefixes case); empty = unfiltered.
+        FieldDef(8, "import_policy", TString, default=""),
+    ],
+)
+
+CONFIG_SCHEMA.define(
+    "RoutePolicyConfig",
+    [
+        FieldDef(1, "name", TString, required=True),
+        FieldDef(2, "prefixes", TList(TString), default=[]),
+        FieldDef(3, "action", TString, default="permit"),
+    ],
+)
+
+CONFIG_SCHEMA.define(
+    "AclEntry",
+    [
+        FieldDef(1, "sequence", TI32, required=True),
+        FieldDef(2, "action", TString, required=True),  # "permit"/"deny"
+        FieldDef(3, "protocol", TString, default="any"),
+        FieldDef(4, "source", TString, default="any"),
+        FieldDef(5, "destination", TString, default="any"),
+        FieldDef(6, "port", TI32),
+        FieldDef(7, "description", TString, default=""),
+    ],
+)
+
+CONFIG_SCHEMA.define(
+    "AclPolicy",
+    [
+        FieldDef(1, "name", TString, required=True),
+        FieldDef(2, "entries", TList(TStructRef("AclEntry")), default=[]),
+    ],
+)
+
+CONFIG_SCHEMA.define(
+    "BgpConfig",
+    [
+        FieldDef(1, "local_asn", TI64, required=True),
+        FieldDef(2, "router_id", TString, default=""),
+        FieldDef(3, "neighbors", TList(TStructRef("BgpNeighbor")), default=[]),
+    ],
+)
+
+CONFIG_SCHEMA.define(
+    "MplsTunnelConfig",
+    [
+        FieldDef(1, "name", TString, required=True),
+        FieldDef(2, "destination", TString, required=True),
+        FieldDef(3, "bandwidth_mbps", TI32, default=0),
+    ],
+)
+
+CONFIG_SCHEMA.define(
+    "SystemConfig",
+    [
+        FieldDef(1, "hostname", TString, required=True),
+        FieldDef(2, "syslog_collector", TString, default=""),
+        FieldDef(3, "loopback_v4", TString),
+        FieldDef(4, "loopback_v6", TString),
+        FieldDef(5, "domain", TString, default=""),
+    ],
+)
+
+CONFIG_SCHEMA.define(
+    "Device",
+    [
+        FieldDef(1, "aggs", TList(TStructRef("AggregatedInterface")), default=[]),
+        FieldDef(2, "name", TString, required=True),
+        FieldDef(3, "vendor", TString, required=True),
+        FieldDef(4, "role", TString, default=""),
+        FieldDef(5, "system", TStructRef("SystemConfig"), required=True),
+        FieldDef(6, "bgp", TStructRef("BgpConfig")),
+        FieldDef(7, "tunnels", TList(TStructRef("MplsTunnelConfig")), default=[]),
+        FieldDef(8, "acls", TList(TStructRef("AclPolicy")), default=[]),
+        FieldDef(9, "route_policies", TList(TStructRef("RoutePolicyConfig")), default=[]),
+    ],
+)

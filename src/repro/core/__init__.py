@@ -1,0 +1,13 @@
+"""Top-level orchestration: the Robotron facade (paper Figure 3).
+
+:class:`~repro.core.robotron.Robotron` wires FBNet, the design tools,
+config generation, deployment, and monitoring into the four-stage
+management life cycle; :mod:`repro.core.seeds` provides the standard
+environment (hardware catalog, prefix pools, regions, sites) that tests,
+examples, and benchmarks build networks in.
+"""
+
+from repro.core.robotron import Robotron
+from repro.core.seeds import SeededEnvironment, seed_environment
+
+__all__ = ["Robotron", "SeededEnvironment", "seed_environment"]

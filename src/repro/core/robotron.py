@@ -1,0 +1,242 @@
+"""The Robotron facade: the four-stage life cycle in one object (Figure 3).
+
+``Robotron`` wires the subsystems together the way Figure 3 draws them:
+FBNet at the center; network design writing Desired objects; config
+generation deriving golden configs; deployment pushing them to the
+(emulated) fleet; and monitoring watching the fleet, populating Derived
+models, and guarding config conformance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.common.errors import RobotronError
+from repro.configgen.configerator import Configerator
+from repro.configgen.generator import ConfigGenerator, DeviceConfig
+from repro.deploy.deployer import DeployReport, Deployer
+from repro.design.backbone import BackboneDesignTool
+from repro.design.changes import ChangeSummary, DesignChange
+from repro.design.cluster import build_cluster
+from repro.design.materializer import MaterializedCluster
+from repro.design.validation import DEFAULT_RULES
+from repro.devices.fleet import DeviceFleet
+from repro.fbnet.base import Model
+from repro.fbnet.models import ClusterGeneration, DeviceStatus, DrainState
+from repro.fbnet.store import ObjectStore
+from repro.monitoring.audit import AuditReport, run_audit
+from repro.monitoring.backends import (
+    ConfigBackupBackend,
+    DerivedModelBackend,
+    TimeSeriesBackend,
+)
+from repro.monitoring.classifier import Classifier, default_rule_table
+from repro.monitoring.confmon import ConfigMonitor
+from repro.monitoring.jobs import JobManager, JobSpec
+from repro.monitoring.syslog import SyslogCollector
+from repro.simulation.clock import EventScheduler, MINUTE
+
+__all__ = ["Robotron"]
+
+#: The default periodic monitoring schedule (engine, data type, period s).
+DEFAULT_JOB_SPECS = (
+    JobSpec("snmp-interfaces", "snmp", "interfaces", 60.0, ("tsdb", "derived")),
+    JobSpec("snmp-system", "snmp", "system", 60.0, ("tsdb", "derived")),
+    JobSpec("cli-lldp", "cli", "lldp", 300.0, ("derived",)),
+    JobSpec("cli-bgp", "cli", "bgp", 300.0, ("derived",)),
+    JobSpec("cli-config-backup", "cli", "running-config", 3600.0, ("config-backup", "derived")),
+)
+
+
+class Robotron:
+    """One Robotron deployment over one FBNet store and one device fleet."""
+
+    def __init__(
+        self,
+        store: ObjectStore | None = None,
+        scheduler: EventScheduler | None = None,
+        *,
+        configerator: Configerator | None = None,
+    ):
+        self.scheduler = scheduler or EventScheduler()
+        self.store = store or ObjectStore()
+        self.generator = ConfigGenerator(self.store, configerator)
+        self.backbone = BackboneDesignTool(self.store)
+
+        # Built when the network is provisioned.
+        self.fleet: DeviceFleet | None = None
+        self.deployer: Deployer | None = None
+        self.jobs: JobManager | None = None
+        self.collector: SyslogCollector | None = None
+        self.classifier: Classifier | None = None
+        self.confmon: ConfigMonitor | None = None
+        self.tsdb = TimeSeriesBackend()
+        self.notifications: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Stage 1: network design
+    # ------------------------------------------------------------------
+
+    def design_change(
+        self,
+        *,
+        employee_id: str,
+        ticket_id: str,
+        description: str = "",
+        domain: str = "",
+        reviewer: Callable[[ChangeSummary], bool] | None = None,
+    ) -> DesignChange:
+        """Open a validated, reviewed, audited design change (section 5.1)."""
+        return DesignChange(
+            self.store,
+            employee_id=employee_id,
+            ticket_id=ticket_id,
+            description=description,
+            domain=domain,
+            reviewer=reviewer,
+            validators=list(DEFAULT_RULES),
+            committed_at=self.scheduler.clock.now,
+        )
+
+    def build_cluster(
+        self,
+        name: str,
+        location: Model,
+        generation: ClusterGeneration,
+        *,
+        employee_id: str = "oncall",
+        ticket_id: str = "AUTO",
+    ) -> MaterializedCluster:
+        """Design-change-wrapped cluster build from the generation catalog."""
+        with self.design_change(
+            employee_id=employee_id,
+            ticket_id=ticket_id,
+            description=f"build cluster {name}",
+            domain=location.domain.value,
+        ):
+            return build_cluster(self.store, name, location, generation)
+
+    # ------------------------------------------------------------------
+    # Stage 2 + 3: config generation and deployment
+    # ------------------------------------------------------------------
+
+    def boot_fleet(self) -> DeviceFleet:
+        """Instantiate the emulated fleet from FBNet Desired state."""
+        self.fleet = DeviceFleet.from_fbnet(self.store, self.scheduler)
+        self.deployer = Deployer(self.fleet, notifier=self.notifications.append)
+        return self.fleet
+
+    def _require_fleet(self) -> DeviceFleet:
+        if self.fleet is None:
+            raise RobotronError("no fleet; call boot_fleet() first")
+        return self.fleet
+
+    def provision_devices(self, devices: list[Model]) -> DeployReport:
+        """Initially provision clean devices, then undrain them.
+
+        Mirrors the paper's turn-up sequence: devices are provisioned
+        while fully drained (section 5.3.1's requirement) — their first
+        configs carry BGP shutdowns — and only then undrained, which is
+        an incremental config update that brings the sessions up.
+        """
+        fleet = self._require_fleet()
+        assert self.deployer is not None
+        configs: dict[str, DeviceConfig] = self.generator.generate_devices(devices)
+        report = self.deployer.initial_provision(configs, store=self.store)
+        undrained = []
+        with self.store.transaction():
+            for device in devices:
+                if device.name in report.succeeded:
+                    self.store.update(
+                        device,
+                        status=DeviceStatus.PRODUCTION,
+                        drain_state=DrainState.UNDRAINED,
+                    )
+                    undrained.append(device)
+        if undrained:
+            undrain_configs = self.generator.generate_devices(undrained)
+            undrain_report = self.deployer.deploy(undrain_configs)
+            report.failed.update(undrain_report.failed)
+        return report
+
+    def provision_cluster(self, materialized: MaterializedCluster) -> DeployReport:
+        """Provision every device of a freshly built cluster."""
+        return self.provision_devices(materialized.all_devices())
+
+    # ------------------------------------------------------------------
+    # Stage 4: monitoring
+    # ------------------------------------------------------------------
+
+    def attach_monitoring(
+        self, job_specs: tuple[JobSpec, ...] = DEFAULT_JOB_SPECS
+    ) -> None:
+        """Stand up passive + active + config monitoring over the fleet."""
+        fleet = self._require_fleet()
+        self.jobs = JobManager(fleet, self.scheduler)
+        self.jobs.register_backend(self.tsdb)
+        self.jobs.register_backend(DerivedModelBackend(self.store, self.scheduler.clock))
+        self.collector = SyslogCollector()
+        fleet.subscribe_syslog(self.collector)
+        self.classifier = Classifier(default_rule_table())
+        self.collector.subscribe(self.classifier)
+        self.confmon = ConfigMonitor(
+            fleet,
+            self.generator,
+            self.jobs,
+            notifier=lambda d: self.notifications.append(
+                f"config drift on {d.device}"
+            ),
+        )
+        self.collector.subscribe(self.confmon)
+        for spec in job_specs:
+            self.jobs.add_job(spec)
+
+    def audit(self) -> AuditReport:
+        """Desired-vs-Derived anomaly detection over current FBNet state."""
+        return run_audit(self.store)
+
+    # ------------------------------------------------------------------
+    # Operational workflows
+    # ------------------------------------------------------------------
+
+    @property
+    def peering(self):
+        """The peering/transit design tool (section 2.1)."""
+        from repro.design.peering import PeeringDesignTool
+
+        if not hasattr(self, "_peering_tool"):
+            self._peering_tool = PeeringDesignTool(self.store)
+        return self._peering_tool
+
+    def drain(self, device_name: str, *, reason: str = "maintenance"):
+        """Drain one device out of production traffic (sections 1, 6.1)."""
+        from repro.deploy.maintenance import drain_device
+
+        self._require_fleet()
+        assert self.deployer is not None
+        return drain_device(
+            self.store, self.fleet, self.generator, self.deployer,
+            device_name, reason=reason,
+        )
+
+    def undrain(self, device_name: str, *, reason: str = "maintenance complete"):
+        """Return a drained device to production traffic."""
+        from repro.deploy.maintenance import undrain_device
+
+        self._require_fleet()
+        assert self.deployer is not None
+        return undrain_device(
+            self.store, self.fleet, self.generator, self.deployer,
+            device_name, reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def run(self, seconds: float) -> int:
+        """Advance simulated time (monitoring jobs, confirm timers, ...)."""
+        return self.scheduler.run_until(self.scheduler.clock.now + seconds)
+
+    def run_minutes(self, minutes: float) -> int:
+        return self.run(minutes * MINUTE)

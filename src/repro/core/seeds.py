@@ -1,0 +1,141 @@
+"""Standard environment seeding: the catalog every network is built from.
+
+Creates the hardware profiles, prefix pools, regions, and sites that the
+design tools reference by name.  Tests, examples, and benchmarks all
+start from this environment so they exercise the same catalog paths a
+production deployment would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fbnet.models import (
+    BackboneSite,
+    Datacenter,
+    HardwareProfile,
+    LinecardModel,
+    NetworkDomain,
+    Pop,
+    PrefixPool,
+    RackProfile,
+    Region,
+    Vendor,
+)
+from repro.fbnet.store import ObjectStore
+
+__all__ = ["SeededEnvironment", "seed_environment"]
+
+#: The default prefix pools (name, covering prefix, version, purpose).
+DEFAULT_POOLS = (
+    ("pop-p2p-v6", "2401:db00:1::/48", 6, "p2p"),
+    ("pop-p2p-v4", "10.128.0.0/14", 4, "p2p"),
+    ("dc-p2p-v6", "2401:db00:2::/48", 6, "p2p"),
+    ("dc-p2p-v4", "10.132.0.0/14", 4, "p2p"),
+    ("backbone-p2p-v6", "2401:db00:3::/48", 6, "p2p"),
+    ("backbone-loopback-v6", "2401:db00:f::/64", 6, "loopback"),
+    ("rack-v6", "2401:db00:4::/48", 6, "rack"),
+)
+
+
+@dataclass
+class SeededEnvironment:
+    """Handles to the seeded catalog objects."""
+
+    store: ObjectStore
+    regions: dict[str, Region] = field(default_factory=dict)
+    pops: dict[str, Pop] = field(default_factory=dict)
+    datacenters: dict[str, Datacenter] = field(default_factory=dict)
+    backbone_sites: dict[str, BackboneSite] = field(default_factory=dict)
+    profiles: dict[str, HardwareProfile] = field(default_factory=dict)
+    pools: dict[str, PrefixPool] = field(default_factory=dict)
+
+
+def seed_environment(
+    store: ObjectStore,
+    *,
+    region_names: tuple[str, ...] = ("na-east", "na-west", "eu-central"),
+    pop_count: int = 2,
+    datacenter_count: int = 1,
+    backbone_site_count: int = 2,
+) -> SeededEnvironment:
+    """Populate ``store`` with the standard catalog; returns the handles.
+
+    Sites are spread round-robin across the regions: POPs named
+    ``pop01..``, datacenters ``dc01..``, backbone sites ``bbs01..``.
+    """
+    env = SeededEnvironment(store=store)
+    with store.transaction():
+        for name in region_names:
+            env.regions[name] = store.create(Region, name=name)
+        region_list = list(env.regions.values())
+
+        def region_for(index: int) -> Region:
+            return region_list[index % len(region_list)]
+
+        # Hardware catalog: one router and one switch SKU per vendor.
+        lc_router = store.create(
+            LinecardModel, name="LC-36x100G", port_count=36, port_speed_mbps=100_000
+        )
+        lc_switch = store.create(
+            LinecardModel, name="LC-48x10G", port_count=48, port_speed_mbps=10_000
+        )
+        env.profiles["Router_Vendor1"] = store.create(
+            HardwareProfile,
+            name="Router_Vendor1",
+            vendor=Vendor.VENDOR1,
+            slot_count=8,
+            linecard_model=lc_router,
+        )
+        env.profiles["Router_Vendor2"] = store.create(
+            HardwareProfile,
+            name="Router_Vendor2",
+            vendor=Vendor.VENDOR2,
+            slot_count=8,
+            linecard_model=lc_router,
+        )
+        env.profiles["Switch_Vendor1"] = store.create(
+            HardwareProfile,
+            name="Switch_Vendor1",
+            vendor=Vendor.VENDOR1,
+            slot_count=4,
+            linecard_model=lc_switch,
+        )
+        env.profiles["Switch_Vendor2"] = store.create(
+            HardwareProfile,
+            name="Switch_Vendor2",
+            vendor=Vendor.VENDOR2,
+            slot_count=4,
+            linecard_model=lc_switch,
+        )
+
+        for name, prefix, version, purpose in DEFAULT_POOLS:
+            env.pools[name] = store.create(
+                PrefixPool, name=name, prefix=prefix, version=version, purpose=purpose
+            )
+
+        store.create(RackProfile, name="web-rack", downlinks_per_rack=4)
+        store.create(RackProfile, name="storage-rack", downlinks_per_rack=8)
+
+        for index in range(1, pop_count + 1):
+            name = f"pop{index:02d}"
+            env.pops[name] = store.create(
+                Pop, name=name, region=region_for(index), domain=NetworkDomain.POP
+            )
+        for index in range(1, datacenter_count + 1):
+            name = f"dc{index:02d}"
+            env.datacenters[name] = store.create(
+                Datacenter,
+                name=name,
+                region=region_for(index),
+                domain=NetworkDomain.DATACENTER,
+            )
+        for index in range(1, backbone_site_count + 1):
+            name = f"bbs{index:02d}"
+            env.backbone_sites[name] = store.create(
+                BackboneSite,
+                name=name,
+                region=region_for(index),
+                domain=NetworkDomain.BACKBONE,
+            )
+    return env

@@ -1,0 +1,25 @@
+"""Deployment: pushing generated configs to devices, safely (paper 5.3).
+
+Two scenarios from the paper:
+
+* **initial provisioning** — clean-state devices: erase, copy, validate
+  (section 5.3.1);
+* **incremental updates** — live devices, partial config changes, with
+  four safety mechanisms (section 5.3.2): dryrun mode, atomic mode,
+  phased mode, and human confirmation with a grace-period rollback.
+"""
+
+from repro.deploy.deployer import DeployReport, Deployer
+from repro.deploy.diff import count_changed_lines, unified_diff
+from repro.deploy.maintenance import drain_device, undrain_device
+from repro.deploy.phases import PhaseSpec
+
+__all__ = [
+    "DeployReport",
+    "Deployer",
+    "PhaseSpec",
+    "count_changed_lines",
+    "drain_device",
+    "undrain_device",
+    "unified_diff",
+]

@@ -1,0 +1,321 @@
+"""The deployment engine (paper section 5.3).
+
+Engineers deploy generated configs through this engine.  It covers both
+paper scenarios — initial provisioning of clean devices and incremental
+updates to live devices — and implements the four incremental-update
+safety mechanisms: dryrun, atomic, phased, and human confirmation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import DeploymentError
+from repro.configgen.generator import DeviceConfig
+from repro.deploy.diff import count_changed_lines, unified_diff
+from repro.deploy.phases import PhaseSpec
+from repro.devices.emulator import CommitError, DeviceDownError, EmulatedDevice
+from repro.devices.fleet import DeviceFleet
+
+__all__ = ["DeployReport", "Deployer"]
+
+
+def _config_text(config: DeviceConfig | str) -> str:
+    return config.text if isinstance(config, DeviceConfig) else config
+
+
+@dataclass
+class DeployReport:
+    """The outcome of one deployment operation."""
+
+    operation: str
+    succeeded: list[str] = field(default_factory=list)
+    failed: dict[str, str] = field(default_factory=dict)
+    rolled_back: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    diffs: dict[str, str] = field(default_factory=dict)
+    changed_lines: dict[str, int] = field(default_factory=dict)
+    notifications: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def total_changed_lines(self) -> int:
+        return sum(self.changed_lines.values())
+
+
+class Deployer:
+    """Pushes configs to an emulated fleet with the paper's safety modes."""
+
+    def __init__(
+        self,
+        fleet: DeviceFleet,
+        *,
+        notifier: Callable[[str], None] | None = None,
+    ):
+        self._fleet = fleet
+        self._notify = notifier or (lambda _msg: None)
+
+    # ------------------------------------------------------------------
+    # Initial provisioning (section 5.3.1)
+    # ------------------------------------------------------------------
+
+    def initial_provision(
+        self,
+        configs: Mapping[str, DeviceConfig | str],
+        *,
+        store=None,
+    ) -> DeployReport:
+        """Erase and copy configs onto clean devices, then validate.
+
+        When ``store`` is given, every target must be fully drained in
+        FBNet — initial provisioning requires devices carry no traffic.
+        """
+        report = DeployReport(operation="initial_provision")
+        if store is not None:
+            self._check_drained(configs.keys(), store)
+        for name, config in sorted(configs.items()):
+            device = self._fleet.get(name)
+            text = _config_text(config)
+            try:
+                device.erase()
+                device.copy_config(text)
+                self._basic_validation(device, text)
+            except DeploymentError as exc:
+                report.failed[name] = str(exc)
+                continue
+            report.succeeded.append(name)
+            report.changed_lines[name] = count_changed_lines("", text)
+        return report
+
+    @staticmethod
+    def _check_drained(names, store) -> None:
+        from repro.fbnet.models import Device, DrainState
+        from repro.fbnet.query import Expr, Op
+
+        for name in names:
+            obj = store.first(Device, Expr("name", Op.EQUAL, name))
+            if obj is not None and obj.drain_state is not DrainState.DRAINED:
+                raise DeploymentError(
+                    f"{name} is not drained ({obj.drain_state.value}); initial "
+                    "provisioning requires drained devices"
+                )
+
+    def _basic_validation(self, device: EmulatedDevice, text: str) -> None:
+        """Post-provision checks: reachability and config took effect."""
+        if not device.reachable():
+            raise DeploymentError(f"{device.name}: unreachable after provisioning")
+        if device.running_config != text:
+            raise DeploymentError(f"{device.name}: running config mismatch")
+        if device.parsed.hostname and device.parsed.hostname != device.name:
+            raise DeploymentError(
+                f"{device.name}: config hostname {device.parsed.hostname!r} "
+                "does not match device"
+            )
+
+    # ------------------------------------------------------------------
+    # Dryrun mode (section 5.3.2)
+    # ------------------------------------------------------------------
+
+    def dryrun(self, configs: Mapping[str, DeviceConfig | str]) -> DeployReport:
+        """Produce per-device diffs without touching running configs.
+
+        Devices with native dryrun support validate the candidate on-box
+        (catching syntax errors and vendor bugs); for the rest the diff is
+        computed from the running config (the paper's fallback compares
+        before/after deployment — here we preview the same information).
+        """
+        report = DeployReport(operation="dryrun")
+        for name, config in sorted(configs.items()):
+            device = self._fleet.get(name)
+            text = _config_text(config)
+            try:
+                if device.supports_native_dryrun:
+                    diff = device.dryrun(text)
+                else:
+                    diff = unified_diff(device.running_config, text, name)
+            except DeploymentError as exc:
+                report.failed[name] = str(exc)
+                continue
+            report.diffs[name] = diff
+            report.changed_lines[name] = count_changed_lines(
+                device.running_config, text
+            )
+            report.succeeded.append(name)
+        return report
+
+    # ------------------------------------------------------------------
+    # Plain and atomic incremental updates (section 5.3.2)
+    # ------------------------------------------------------------------
+
+    def deploy(self, configs: Mapping[str, DeviceConfig | str]) -> DeployReport:
+        """Best-effort incremental update: failures don't undo successes."""
+        report = DeployReport(operation="deploy")
+        for name, config in sorted(configs.items()):
+            device = self._fleet.get(name)
+            text = _config_text(config)
+            before = device.running_config
+            try:
+                device.commit(text)
+            except DeploymentError as exc:
+                report.failed[name] = str(exc)
+                continue
+            report.succeeded.append(name)
+            report.diffs[name] = unified_diff(before, text, name)
+            report.changed_lines[name] = count_changed_lines(before, text)
+        return report
+
+    def atomic_deploy(
+        self,
+        configs: Mapping[str, DeviceConfig | str],
+        *,
+        time_window: float = 60.0,
+    ) -> DeployReport:
+        """All-or-nothing multi-device update (e.g. iBGP mesh changes).
+
+        If any device errors or cannot finish within ``time_window``, the
+        entire transaction is rolled back: every already-updated device is
+        restored to its previous config.
+        """
+        report = DeployReport(operation="atomic_deploy")
+        previous: dict[str, str] = {}
+        try:
+            for name, config in sorted(configs.items()):
+                device = self._fleet.get(name)
+                text = _config_text(config)
+                before = device.running_config
+                took = device.commit(text)
+                previous[name] = before
+                if took > time_window:
+                    raise CommitError(
+                        f"{name}: commit took {took:.1f}s, exceeding the "
+                        f"{time_window:.1f}s atomic window"
+                    )
+                report.changed_lines[name] = count_changed_lines(before, text)
+        except DeploymentError as exc:
+            failed_name = str(exc).split(":", 1)[0]
+            report.failed[failed_name] = str(exc)
+            for name, old_text in reversed(list(previous.items())):
+                device = self._fleet.get(name)
+                try:
+                    device.commit(old_text)
+                    report.rolled_back.append(name)
+                except DeploymentError:
+                    # A device that cannot be restored is a page, not a log line.
+                    self._notify(
+                        f"atomic rollback FAILED on {name}; manual intervention needed"
+                    )
+            report.changed_lines.clear()
+            self._notify(f"atomic deployment aborted: {exc}")
+            return report
+        report.succeeded.extend(sorted(configs))
+        return report
+
+    # ------------------------------------------------------------------
+    # Phased mode (section 5.3.2)
+    # ------------------------------------------------------------------
+
+    def phased_deploy(
+        self,
+        configs: Mapping[str, DeviceConfig | str],
+        phases: list[PhaseSpec],
+        *,
+        health_check: Callable[[list[str]], bool] | None = None,
+    ) -> DeployReport:
+        """Deploy in engineer-specified phases, gating on health metrics.
+
+        After each phase the ``health_check`` runs over that phase's
+        devices; deployment only continues while checks pass, otherwise
+        the remaining phases are skipped and engineers are notified.
+        """
+        report = DeployReport(operation="phased_deploy")
+        remaining = sorted(configs)
+        total = len(remaining)
+        roles = {name: self._fleet.get(name).role for name in remaining}
+        for index, phase in enumerate(phases, 1):
+            batch = phase.select(remaining, total, roles)
+            if not batch:
+                continue
+            phase_name = phase.name or f"phase-{index}"
+            for name in batch:
+                device = self._fleet.get(name)
+                text = _config_text(configs[name])
+                before = device.running_config
+                try:
+                    device.commit(text)
+                except DeploymentError as exc:
+                    report.failed[name] = str(exc)
+                    message = (
+                        f"phased deployment halted in {phase_name}: {exc}"
+                    )
+                    report.notifications.append(message)
+                    self._notify(message)
+                    report.skipped.extend(r for r in remaining if r not in batch)
+                    return report
+                report.succeeded.append(name)
+                report.changed_lines[name] = count_changed_lines(before, text)
+            remaining = [name for name in remaining if name not in batch]
+            if health_check is not None and not health_check(batch):
+                message = (
+                    f"phased deployment halted after {phase_name}: "
+                    "health check failed"
+                )
+                report.notifications.append(message)
+                self._notify(message)
+                report.skipped.extend(remaining)
+                return report
+        report.skipped.extend(remaining)
+        return report
+
+    # ------------------------------------------------------------------
+    # Human confirmation (section 5.3.2)
+    # ------------------------------------------------------------------
+
+    def deploy_with_confirmation(
+        self,
+        configs: Mapping[str, DeviceConfig | str],
+        *,
+        grace_seconds: float = 600.0,
+        verify: Callable[[], bool],
+    ) -> DeployReport:
+        """Commit temporarily; confirm only if ``verify`` passes in time.
+
+        The new configs go live under a grace-period timer.  ``verify``
+        is the engineer's ad-hoc verification; returning True confirms
+        every device, anything else lets the devices auto-roll back when
+        their timers expire.
+        """
+        report = DeployReport(operation="deploy_with_confirmation")
+        committed: list[EmulatedDevice] = []
+        for name, config in sorted(configs.items()):
+            device = self._fleet.get(name)
+            text = _config_text(config)
+            before = device.running_config
+            try:
+                device.commit_confirmed(text, grace_seconds)
+            except DeploymentError as exc:
+                report.failed[name] = str(exc)
+                continue
+            committed.append(device)
+            report.changed_lines[name] = count_changed_lines(before, text)
+        verified = False
+        try:
+            verified = bool(verify())
+        except Exception as exc:  # a crashing verifier must not confirm
+            report.notifications.append(f"verification raised: {exc}")
+        if verified:
+            for device in committed:
+                device.confirm()
+                report.succeeded.append(device.name)
+        else:
+            message = (
+                "confirmation not given; devices will auto-roll back when "
+                "their grace timers expire"
+            )
+            report.notifications.append(message)
+            self._notify(message)
+            report.rolled_back.extend(device.name for device in committed)
+        return report

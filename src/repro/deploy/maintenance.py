@@ -1,0 +1,148 @@
+"""Drain and undrain procedures (paper sections 1 and 6.1).
+
+"Migrating a circuit between routers can involve configuration changes in
+IP addressing, BGP sessions, interfaces, as well as *drain and undrain
+procedures* to avoid the interruption of production traffic."  The
+``drain_state`` attribute is the paper's example of a purely operational
+Desired attribute (section 6.1), and initial provisioning requires a
+fully drained device (section 5.3.1).
+
+Draining here is intent-first, like everything in Robotron: the Desired
+``drain_state`` changes, config generation derives BGP neighbor shutdowns
+from it, and deployment pushes the drained config.  Undraining reverses
+the sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import DeploymentError
+from repro.configgen.generator import ConfigGenerator
+from repro.deploy.deployer import Deployer
+from repro.devices.fleet import DeviceFleet
+from repro.fbnet.models import Device, DrainEvent, DrainState
+from repro.fbnet.query import Expr, Op
+from repro.fbnet.store import ObjectStore
+
+__all__ = ["MaintenanceResult", "drain_device", "undrain_device"]
+
+
+@dataclass(frozen=True)
+class MaintenanceResult:
+    """What one drain/undrain accomplished."""
+
+    device: str
+    state: DrainState
+    sessions_affected: int
+    config_lines_changed: int
+
+
+def _find_device(store: ObjectStore, name: str) -> Device:
+    device = store.first(Device, Expr("name", Op.EQUAL, name))
+    if device is None:
+        raise DeploymentError(f"no device named {name!r} in FBNet")
+    return device
+
+
+def _apply_drain_state(
+    store: ObjectStore,
+    fleet: DeviceFleet,
+    generator: ConfigGenerator,
+    deployer: Deployer,
+    device_name: str,
+    target: DrainState,
+    reason: str,
+) -> MaintenanceResult:
+    device = _find_device(store, device_name)
+    with store.transaction():
+        store.update(device, drain_state=target)
+        store.create(
+            DrainEvent,
+            device=device,
+            state=target,
+            reason=reason,
+            at=fleet.scheduler.clock.now,
+        )
+    config = generator.generate_device(device)
+    report = deployer.deploy({device_name: config})
+    if not report.ok:
+        raise DeploymentError(
+            f"{device_name}: drain-state deployment failed: {report.failed}"
+        )
+    shut = sum(
+        1 for n in (config.data.get("bgp") or {}).get("neighbors", [])
+        if n.get("shutdown")
+    )
+    return MaintenanceResult(
+        device=device_name,
+        state=target,
+        sessions_affected=shut,
+        config_lines_changed=report.changed_lines.get(device_name, 0),
+    )
+
+
+def drain_device(
+    store: ObjectStore,
+    fleet: DeviceFleet,
+    generator: ConfigGenerator,
+    deployer: Deployer,
+    device_name: str,
+    *,
+    reason: str = "maintenance",
+    verify: bool = True,
+) -> MaintenanceResult:
+    """Take a device out of production traffic before risky work.
+
+    Sets the Desired ``drain_state`` to DRAINED, regenerates the config
+    (every BGP neighbor gains a shutdown), deploys it, and — when
+    ``verify`` — confirms from the live fleet that no session on the
+    device remains established.
+    """
+    result = _apply_drain_state(
+        store, fleet, generator, deployer, device_name, DrainState.DRAINED, reason
+    )
+    if verify:
+        emulated = fleet.get(device_name)
+        still_up = [
+            entry["peer_ip"]
+            for entry in emulated.bgp_summary()
+            if entry["state"] == "established"
+        ]
+        if still_up:
+            raise DeploymentError(
+                f"{device_name}: sessions still established after drain: {still_up}"
+            )
+    return result
+
+
+def undrain_device(
+    store: ObjectStore,
+    fleet: DeviceFleet,
+    generator: ConfigGenerator,
+    deployer: Deployer,
+    device_name: str,
+    *,
+    reason: str = "maintenance complete",
+    verify: bool = True,
+) -> MaintenanceResult:
+    """Return a drained device to production traffic.
+
+    When ``verify``, confirms every configured session re-establishes —
+    undrain is only safe when the far ends agree.
+    """
+    result = _apply_drain_state(
+        store, fleet, generator, deployer, device_name, DrainState.UNDRAINED, reason
+    )
+    if verify:
+        emulated = fleet.get(device_name)
+        down = [
+            entry["peer_ip"]
+            for entry in emulated.bgp_summary()
+            if entry["state"] != "established"
+        ]
+        if down:
+            raise DeploymentError(
+                f"{device_name}: sessions not re-established after undrain: {down}"
+            )
+    return result

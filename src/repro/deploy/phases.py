@@ -1,0 +1,56 @@
+"""Phase specifications for phased deployments (paper section 5.3.2).
+
+"In phased deployments, engineers specify a permutation of
+percentage/region/role of devices to be updated in each phase."  A
+:class:`PhaseSpec` captures one phase's selector; the deployer applies
+phases in order, each time selecting from the devices not yet updated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import DeploymentError
+
+__all__ = ["PhaseSpec"]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of a phased deployment.
+
+    Exactly one selector must be set:
+
+    * ``percentage`` — this fraction (0-100] of the *total* target set,
+      rounded up, drawn from devices not yet updated;
+    * ``region`` — devices whose name starts with this region/site prefix;
+    * ``role`` — devices with this role (e.g. ``"psw"``).
+    """
+
+    name: str = ""
+    percentage: float | None = None
+    region: str | None = None
+    role: str | None = None
+
+    def __post_init__(self) -> None:
+        selectors = [s is not None for s in (self.percentage, self.region, self.role)]
+        if sum(selectors) != 1:
+            raise DeploymentError(
+                f"phase {self.name or '?'}: exactly one of percentage/region/role"
+            )
+        if self.percentage is not None and not 0 < self.percentage <= 100:
+            raise DeploymentError(
+                f"phase {self.name or '?'}: percentage must be in (0, 100]"
+            )
+
+    def select(
+        self, remaining: list[str], total: int, roles: dict[str, str]
+    ) -> list[str]:
+        """Pick this phase's devices from the not-yet-updated set."""
+        if self.percentage is not None:
+            count = min(len(remaining), math.ceil(total * self.percentage / 100.0))
+            return remaining[:count]
+        if self.region is not None:
+            return [name for name in remaining if name.startswith(self.region)]
+        return [name for name in remaining if roles.get(name) == self.role]

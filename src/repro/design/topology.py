@@ -1,0 +1,184 @@
+"""Topology templates (paper section 5.1.1, Figure 7).
+
+POPs and DCs have standard fat-tree architectures that rarely change after
+initial turn-up, so their designs are captured as *topology templates*.  A
+template defines:
+
+1. the device groups' hardware profiles (vendor, linecards, reserved
+   interfaces),
+2. how many devices of each type the cluster has,
+3. how device groups are connected — link groups with a bundle of N
+   parallel circuits per device pair,
+4. the IP addressing scheme (which pools supply p2p and loopback space,
+   and whether the cluster is v4+v6 or v6-only).
+
+Templates are plain data; :mod:`repro.design.materializer` turns them into
+FBNet objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import DesignValidationError
+from repro.fbnet.models import BgpSessionType
+
+__all__ = [
+    "DeviceGroupSpec",
+    "IpSchemeSpec",
+    "LinkGroupSpec",
+    "TopologyTemplate",
+]
+
+
+@dataclass(frozen=True)
+class DeviceGroupSpec:
+    """One group of same-role devices, e.g. "4 PSWs of profile Switch_Vendor2".
+
+    ``model_name`` is the FBNet device model to instantiate
+    (``"NetworkSwitch"``, ``"PeeringRouter"``, ...); ``count`` how many;
+    ``hardware_profile`` the profile name (must exist in FBNet);
+    ``name_prefix`` the per-device hostname stem (devices are numbered
+    from 1: ``psw1..psw4``).
+    """
+
+    group: str
+    model_name: str
+    count: int
+    hardware_profile: str
+    name_prefix: str
+    local_asn: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise DesignValidationError(f"device group {self.group}: count must be >= 1")
+
+
+@dataclass(frozen=True)
+class LinkGroupSpec:
+    """How two device groups interconnect.
+
+    Every (a-device, z-device) pair across the two groups is connected by
+    a bundle of ``circuits_per_bundle`` parallel circuits, aggregated with
+    LACP on both sides (Figure 4).  ``bgp`` optionally establishes a BGP
+    session per pair over the bundle.
+    """
+
+    a_group: str
+    z_group: str
+    circuits_per_bundle: int = 2
+    circuit_speed_mbps: int = 10_000
+    bgp: BgpSessionType | None = BgpSessionType.EBGP
+
+    def __post_init__(self) -> None:
+        if self.circuits_per_bundle < 1:
+            raise DesignValidationError(
+                f"link group {self.a_group}--{self.z_group}: needs >= 1 circuit"
+            )
+        if self.a_group == self.z_group:
+            raise DesignValidationError(
+                f"link group {self.a_group}--{self.z_group}: groups must differ"
+            )
+
+
+@dataclass(frozen=True)
+class IpSchemeSpec:
+    """Which prefix pools supply the cluster's addressing.
+
+    ``v4_pool`` is None for v6-only clusters (the paper's Gen3 DC
+    clusters, built after private IPv4 exhaustion).
+    """
+
+    v6_pool: str
+    v4_pool: str | None = None
+    loopback_v6_pool: str | None = None
+
+    @property
+    def v6_only(self) -> bool:
+        return self.v4_pool is None
+
+
+@dataclass(frozen=True)
+class TopologyTemplate:
+    """A complete cluster topology template (Figure 7)."""
+
+    name: str
+    device_groups: tuple[DeviceGroupSpec, ...]
+    link_groups: tuple[LinkGroupSpec, ...]
+    ip_scheme: IpSchemeSpec
+
+    def __post_init__(self) -> None:
+        names = [g.group for g in self.device_groups]
+        if len(set(names)) != len(names):
+            raise DesignValidationError(f"template {self.name}: duplicate group names")
+        known = set(names)
+        for link in self.link_groups:
+            for side in (link.a_group, link.z_group):
+                if side not in known:
+                    raise DesignValidationError(
+                        f"template {self.name}: link group references unknown "
+                        f"device group {side!r}"
+                    )
+
+    def group(self, name: str) -> DeviceGroupSpec:
+        for spec in self.device_groups:
+            if spec.group == name:
+                return spec
+        raise KeyError(f"template {self.name} has no device group {name!r}")
+
+    def device_count(self) -> int:
+        return sum(g.count for g in self.device_groups)
+
+    def bundle_count(self) -> int:
+        """Number of (a, z) device pairs — one bundle per pair."""
+        total = 0
+        for link in self.link_groups:
+            total += self.group(link.a_group).count * self.group(link.z_group).count
+        return total
+
+
+def four_post_pop_template(
+    *,
+    pr_profile: str = "Router_Vendor1",
+    psw_profile: str = "Switch_Vendor2",
+    v6_pool: str = "pop-p2p-v6",
+    v4_pool: str | None = None,
+    pr_asn: int = 65501,
+    psw_asn: int = 65101,
+) -> TopologyTemplate:
+    """The paper's running example: a 4-post POP cluster (Figures 2 and 7).
+
+    Two PRs and four PSWs; each (PR, PSW) pair is connected by a 20G
+    bundle of two 10G circuits, with an eBGP session over the bundle.
+    """
+    return TopologyTemplate(
+        name="pop-4post",
+        device_groups=(
+            DeviceGroupSpec(
+                group="PR",
+                model_name="PeeringRouter",
+                count=2,
+                hardware_profile=pr_profile,
+                name_prefix="pr",
+                local_asn=pr_asn,
+            ),
+            DeviceGroupSpec(
+                group="PSW",
+                model_name="NetworkSwitch",
+                count=4,
+                hardware_profile=psw_profile,
+                name_prefix="psw",
+                local_asn=psw_asn,
+            ),
+        ),
+        link_groups=(
+            LinkGroupSpec(
+                a_group="PSW",
+                z_group="PR",
+                circuits_per_bundle=2,
+                circuit_speed_mbps=10_000,
+                bgp=BgpSessionType.EBGP,
+            ),
+        ),
+        ip_scheme=IpSchemeSpec(v6_pool=v6_pool, v4_pool=v4_pool),
+    )

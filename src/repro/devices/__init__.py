@@ -1,0 +1,15 @@
+"""Emulated multi-vendor network devices.
+
+The paper deploys to real heterogeneous routers and switches; this package
+provides emulated devices faithful enough to exercise every Robotron code
+path: vendor-specific config syntax and parsing, native dryrun on only one
+vendor, commit-confirmed with automatic rollback, erase/copy initial
+provisioning, LLDP neighborship, BGP session state driven by *both* ends'
+configs, SNMP/CLI/XML-RPC/Thrift management endpoints with per-vendor
+capability gaps, syslog emission, and fault injection.
+"""
+
+from repro.devices.emulator import EmulatedDevice
+from repro.devices.fleet import DeviceFleet
+
+__all__ = ["DeviceFleet", "EmulatedDevice"]

@@ -1,0 +1,412 @@
+"""Vendor config parsers: raw config text → a normalized view.
+
+The two dialects match the paper's Figure 9: *vendor1* is a flat,
+indentation-based industry CLI (``interface ae0`` / `` ip addr ...`` /
+``!``); *vendor2* is a hierarchical curly-brace language.  Devices parse
+pushed configs with their own dialect — a config in the wrong dialect is
+a syntax error, which is exactly the class of mistake dryrun mode exists
+to catch (section 5.3.2).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["ConfigSyntaxError", "ParsedConfig", "parse_config"]
+
+
+class ConfigSyntaxError(Exception):
+    """The device rejected the config text (vendor parser error)."""
+
+
+@dataclass
+class InterfaceStanza:
+    """Normalized configuration of one interface."""
+
+    name: str
+    mtu: int | None = None
+    v4_prefix: str | None = None
+    v6_prefix: str | None = None
+    channel_group: str | None = None
+    description: str = ""
+    enabled: bool = True
+
+
+@dataclass
+class NeighborStanza:
+    """Normalized configuration of one BGP neighbor."""
+
+    peer_ip: str
+    peer_asn: int | None = None
+    local_ip: str | None = None
+    description: str = ""
+    shutdown: bool = False
+    import_policy: str = ""
+
+
+@dataclass
+class ParsedConfig:
+    """The normalized, vendor-agnostic view of a device config."""
+
+    hostname: str = ""
+    domain: str = ""
+    syslog_hosts: list[str] = field(default_factory=list)
+    interfaces: dict[str, InterfaceStanza] = field(default_factory=dict)
+    bgp_local_asn: int | None = None
+    bgp_neighbors: dict[str, NeighborStanza] = field(default_factory=dict)
+    tunnels: dict[str, str] = field(default_factory=dict)  # name -> destination
+    #: policy name -> ordered rule dicts (sequence, action, protocol, ...).
+    acls: dict[str, list[dict]] = field(default_factory=dict)
+    #: route policy name -> matched prefixes.
+    route_policies: dict[str, list[str]] = field(default_factory=dict)
+
+    def interface(self, name: str) -> InterfaceStanza:
+        if name not in self.interfaces:
+            self.interfaces[name] = InterfaceStanza(name=name)
+        return self.interfaces[name]
+
+
+def parse_config(vendor: str, text: str) -> ParsedConfig:
+    """Parse ``text`` with the given vendor's dialect."""
+    if vendor == "vendor1":
+        return _parse_vendor1(text)
+    if vendor == "vendor2":
+        return _parse_vendor2(text)
+    raise ConfigSyntaxError(f"unknown vendor dialect {vendor!r}")
+
+
+# ---------------------------------------------------------------------------
+# Vendor 1: flat CLI
+# ---------------------------------------------------------------------------
+
+_V1_IFACE_RE = re.compile(r"^interface\s+(\S+)$")
+_V1_TUNNEL_RE = re.compile(r"^interface\s+tunnel-te(\d+)$")
+
+
+def _parse_vendor1(text: str) -> ParsedConfig:
+    config = ParsedConfig()
+    current_iface: InterfaceStanza | None = None
+    current_tunnel: dict | None = None
+    current_acl: str | None = None
+    in_route_map = False
+    in_bgp = False
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "!":
+            current_iface = None
+            current_acl = None
+            in_route_map = False
+            if current_tunnel is not None and current_tunnel.get("dest"):
+                config.tunnels[current_tunnel["name"]] = current_tunnel["dest"]
+            current_tunnel = None
+            continue
+        if line.startswith("{") or line.endswith("{") or line.endswith("};"):
+            raise ConfigSyntaxError(
+                f"line {line_no}: brace syntax is not valid vendor1 configuration"
+            )
+        stripped = line.strip()
+        if not line.startswith(" "):
+            in_bgp = False
+            current_acl = None
+            in_route_map = False
+            tunnel_match = _V1_TUNNEL_RE.match(line)
+            iface_match = _V1_IFACE_RE.match(line)
+            if line.startswith("ip access-list "):
+                current_acl = line.split(None, 2)[2]
+                config.acls.setdefault(current_acl, [])
+            elif line.startswith(("ipv6 prefix-list ", "ip prefix-list ")):
+                parts = line.split()
+                config.route_policies.setdefault(parts[2], []).append(parts[4])
+            elif line.startswith("route-map "):
+                config.route_policies.setdefault(line.split()[1], [])
+                in_route_map = True
+            elif tunnel_match:
+                current_tunnel = {"name": f"tunnel-te{tunnel_match.group(1)}", "dest": ""}
+            elif iface_match:
+                current_iface = config.interface(iface_match.group(1))
+            elif line.startswith("hostname "):
+                config.hostname = line.split(None, 1)[1]
+            elif line.startswith("ip domain-name "):
+                config.domain = line.split(None, 2)[2]
+            elif line.startswith("logging host "):
+                config.syslog_hosts.append(line.split(None, 2)[2])
+            elif line.startswith("router bgp "):
+                in_bgp = True
+                try:
+                    config.bgp_local_asn = int(line.split(None, 2)[2])
+                except ValueError:
+                    raise ConfigSyntaxError(
+                        f"line {line_no}: bad ASN in {line!r}"
+                    ) from None
+            elif line.startswith("mpls "):
+                pass
+            else:
+                raise ConfigSyntaxError(f"line {line_no}: unknown statement {line!r}")
+            continue
+        # Indented continuation lines.
+        if in_route_map:
+            if not stripped.startswith("match "):
+                raise ConfigSyntaxError(
+                    f"line {line_no}: unknown route-map option {stripped!r}"
+                )
+            continue
+        if current_acl is not None:
+            _parse_vendor1_acl_line(config, current_acl, stripped, line_no)
+            continue
+        if current_tunnel is not None:
+            if stripped.startswith("destination "):
+                current_tunnel["dest"] = stripped.split(None, 1)[1]
+            continue
+        if current_iface is not None:
+            _parse_vendor1_iface_line(current_iface, stripped, line_no)
+            continue
+        if in_bgp:
+            _parse_vendor1_bgp_line(config, stripped, line_no)
+            continue
+        raise ConfigSyntaxError(f"line {line_no}: stray indented line {stripped!r}")
+    return config
+
+
+def _parse_vendor1_iface_line(iface: InterfaceStanza, line: str, line_no: int) -> None:
+    if line.startswith("mtu "):
+        try:
+            iface.mtu = int(line.split(None, 1)[1])
+        except ValueError:
+            raise ConfigSyntaxError(f"line {line_no}: bad mtu {line!r}") from None
+    elif line.startswith("ip addr "):
+        iface.v4_prefix = line.split(None, 2)[2]
+    elif line.startswith("ipv6 addr "):
+        iface.v6_prefix = line.split(None, 2)[2]
+    elif line.startswith("channel-group "):
+        iface.channel_group = line.split(None, 1)[1]
+    elif line.startswith("description "):
+        iface.description = line.split(None, 1)[1]
+    elif line == "shutdown":
+        iface.enabled = False
+    elif line == "no shutdown":
+        iface.enabled = True
+    elif line in ("no switchport",) or line.startswith(("load-interval", "lacp ")):
+        pass
+    else:
+        raise ConfigSyntaxError(f"line {line_no}: unknown interface option {line!r}")
+
+
+def _parse_vendor1_acl_line(
+    config: ParsedConfig, policy: str, line: str, line_no: int
+) -> None:
+    parts = line.split()
+    if len(parts) < 5 or parts[0] != "seq":
+        raise ConfigSyntaxError(f"line {line_no}: malformed ACL rule {line!r}")
+    try:
+        rule = {
+            "sequence": int(parts[1]),
+            "action": parts[2],
+            "protocol": parts[3],
+            "source": parts[4],
+            "destination": parts[5] if len(parts) > 5 else "any",
+        }
+    except ValueError:
+        raise ConfigSyntaxError(f"line {line_no}: bad ACL sequence {parts[1]!r}") from None
+    if len(parts) >= 8 and parts[6] == "eq":
+        rule["port"] = int(parts[7])
+    config.acls[policy].append(rule)
+
+
+def _parse_vendor1_bgp_line(config: ParsedConfig, line: str, line_no: int) -> None:
+    if line.startswith("neighbor "):
+        parts = line.split()
+        peer_ip = parts[1]
+        neighbor = config.bgp_neighbors.setdefault(
+            peer_ip, NeighborStanza(peer_ip=peer_ip)
+        )
+        if len(parts) >= 4 and parts[2] == "remote-as":
+            try:
+                neighbor.peer_asn = int(parts[3])
+            except ValueError:
+                raise ConfigSyntaxError(f"line {line_no}: bad ASN {parts[3]!r}") from None
+        elif len(parts) >= 4 and parts[2] == "update-source":
+            neighbor.local_ip = parts[3]
+        elif len(parts) >= 4 and parts[2] == "description":
+            neighbor.description = " ".join(parts[3:])
+        elif len(parts) >= 3 and parts[2] == "shutdown":
+            neighbor.shutdown = True
+        elif len(parts) >= 5 and parts[2] == "route-map":
+            neighbor.import_policy = parts[3]
+        elif len(parts) >= 3 and parts[2] == "activate":
+            pass
+        else:
+            raise ConfigSyntaxError(f"line {line_no}: unknown neighbor option {line!r}")
+    elif line.startswith(("bgp router-id", "address-family", "exit-address-family")):
+        pass
+    else:
+        raise ConfigSyntaxError(f"line {line_no}: unknown bgp statement {line!r}")
+
+
+# ---------------------------------------------------------------------------
+# Vendor 2: curly-brace hierarchy
+# ---------------------------------------------------------------------------
+
+
+class _BraceNode:
+    """A node in the vendor2 config tree."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.children: list[_BraceNode] = []
+        self.statements: list[str] = []
+
+
+def _parse_brace_tree(text: str) -> _BraceNode:
+    root = _BraceNode("")
+    stack = [root]
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.endswith("{"):
+            node = _BraceNode(line[:-1].strip())
+            stack[-1].children.append(node)
+            stack.append(node)
+        elif line == "}":
+            if len(stack) == 1:
+                raise ConfigSyntaxError(f"line {line_no}: unbalanced closing brace")
+            stack.pop()
+        elif line.endswith(";"):
+            stack[-1].statements.append(line[:-1].strip())
+        else:
+            raise ConfigSyntaxError(
+                f"line {line_no}: vendor2 statements end with ';' or '{{' "
+                f"(got {line!r})"
+            )
+    if len(stack) != 1:
+        raise ConfigSyntaxError(f"{len(stack) - 1} unclosed brace block(s)")
+    return root
+
+
+def _parse_vendor2(text: str) -> ParsedConfig:
+    config = ParsedConfig()
+    root = _parse_brace_tree(text)
+    for node in root.children:
+        if node.label == "system":
+            _parse_vendor2_system(config, node)
+        elif node.label == "interfaces":
+            _parse_vendor2_interfaces(config, node)
+        elif node.label == "protocols":
+            _parse_vendor2_protocols(config, node)
+        elif node.label == "firewall":
+            _parse_vendor2_firewall(config, node)
+        elif node.label == "policy-options":
+            _parse_vendor2_policy_options(config, node)
+        else:
+            raise ConfigSyntaxError(f"unknown top-level block {node.label!r}")
+    return config
+
+
+def _parse_vendor2_system(config: ParsedConfig, node: _BraceNode) -> None:
+    for statement in node.statements:
+        if statement.startswith("host-name "):
+            config.hostname = statement.split(None, 1)[1]
+        elif statement.startswith("domain-name "):
+            config.domain = statement.split(None, 1)[1]
+    for child in node.children:
+        if child.label == "syslog":
+            for statement in child.statements:
+                if statement.startswith("host "):
+                    config.syslog_hosts.append(statement.split(None, 1)[1])
+
+
+def _parse_vendor2_interfaces(config: ParsedConfig, node: _BraceNode) -> None:
+    for child in node.children:
+        label = child.label
+        if label.startswith("replace: "):
+            label = label[len("replace: ") :].strip()
+        iface = config.interface(label)
+        for statement in child.statements:
+            if statement.startswith("mtu "):
+                iface.mtu = int(statement.split(None, 1)[1])
+            elif statement.startswith("description "):
+                iface.description = statement.split(None, 1)[1].strip('"')
+            elif statement == "disable":
+                iface.enabled = False
+        for sub in child.children:
+            if sub.label == "unit 0":
+                for family in sub.children:
+                    for statement in family.statements:
+                        if not statement.startswith("addr "):
+                            continue
+                        address = statement.split(None, 1)[1]
+                        if family.label == "family inet":
+                            iface.v4_prefix = address
+                        elif family.label == "family inet6":
+                            iface.v6_prefix = address
+            elif sub.label == "gigether-options":
+                for statement in sub.statements:
+                    if statement.startswith("802.3ad "):
+                        iface.channel_group = statement.split(None, 1)[1]
+
+
+def _parse_vendor2_policy_options(config: ParsedConfig, node: _BraceNode) -> None:
+    for statement_node in node.children:
+        if not statement_node.label.startswith("policy-statement "):
+            continue
+        name = statement_node.label.split(None, 1)[1]
+        prefixes = config.route_policies.setdefault(name, [])
+        for statement in statement_node.statements:
+            if statement.startswith("route-filter "):
+                prefixes.append(statement.split()[1])
+
+
+def _parse_vendor2_firewall(config: ParsedConfig, node: _BraceNode) -> None:
+    for policy_node in node.children:
+        if not policy_node.label.startswith("policy "):
+            raise ConfigSyntaxError(
+                f"unexpected firewall block {policy_node.label!r}"
+            )
+        policy = policy_node.label.split(None, 1)[1]
+        rules = config.acls.setdefault(policy, [])
+        for rule_node in policy_node.children:
+            if not rule_node.label.startswith("rule "):
+                continue
+            rule: dict = {"sequence": int(rule_node.label.split(None, 1)[1])}
+            for statement in rule_node.statements:
+                key, _, value = statement.partition(" ")
+                if key in ("action", "protocol", "source", "destination"):
+                    rule[key] = value
+                elif key == "port":
+                    rule["port"] = int(value)
+            rules.append(rule)
+
+
+def _parse_vendor2_protocols(config: ParsedConfig, node: _BraceNode) -> None:
+    for child in node.children:
+        if child.label == "bgp":
+            for statement in child.statements:
+                if statement.startswith("local-as "):
+                    config.bgp_local_asn = int(statement.split(None, 1)[1])
+            for neighbor_node in child.children:
+                if not neighbor_node.label.startswith("neighbor "):
+                    continue
+                peer_ip = neighbor_node.label.split(None, 1)[1]
+                neighbor = NeighborStanza(peer_ip=peer_ip)
+                for statement in neighbor_node.statements:
+                    if statement.startswith("peer-as "):
+                        neighbor.peer_asn = int(statement.split(None, 1)[1])
+                    elif statement.startswith("local-address "):
+                        neighbor.local_ip = statement.split(None, 1)[1]
+                    elif statement.startswith("description "):
+                        neighbor.description = statement.split(None, 1)[1].strip('"')
+                    elif statement == "shutdown":
+                        neighbor.shutdown = True
+                    elif statement.startswith("import "):
+                        neighbor.import_policy = statement.split(None, 1)[1]
+                config.bgp_neighbors[peer_ip] = neighbor
+        elif child.label == "mpls":
+            for lsp in child.children:
+                if lsp.label.startswith("label-switched-path "):
+                    name = lsp.label.split(None, 1)[1]
+                    for statement in lsp.statements:
+                        if statement.startswith("to "):
+                            config.tunnels[name] = statement.split(None, 1)[1]

@@ -1,0 +1,147 @@
+"""Concrete FBNet models (paper section 4.1).
+
+The models are partitioned into the *Desired* group — the planned network
+state written by Robotron's design tools — and the *Derived* group — the
+observed state populated from device collection (section 4.1.2).  The paper
+reports over 250 models in production; this reproduction ships the core set
+covering devices, interfaces, circuits, addressing, routing, locations,
+clusters, and their Derived twins.
+"""
+
+from repro.fbnet.models.enums import (
+    AdminStatus,
+    BgpSessionType,
+    CircuitStatus,
+    ClusterGeneration,
+    ClusterStatus,
+    DeviceRole,
+    DeviceStatus,
+    DrainState,
+    EventSeverity,
+    NetworkDomain,
+    OperStatus,
+    Vendor,
+)
+from repro.fbnet.models.location import (
+    BackboneSite,
+    Cluster,
+    Datacenter,
+    Location,
+    Pop,
+    Rack,
+    RackProfile,
+    Region,
+)
+from repro.fbnet.models.hardware import HardwareProfile, LinecardModel
+from repro.fbnet.models.device import (
+    BackboneRouter,
+    DatacenterRouter,
+    Device,
+    NetworkSwitch,
+    PeeringRouter,
+    RackSwitch,
+)
+from repro.fbnet.models.interface import (
+    AggregatedInterface,
+    Interface,
+    Linecard,
+    LoopbackInterface,
+    PhysicalInterface,
+)
+from repro.fbnet.models.circuit import Circuit, LinkGroup
+from repro.fbnet.models.prefix import Prefix, PrefixPool, V4Prefix, V6Prefix
+from repro.fbnet.models.routing import (
+    AutonomousSystem,
+    BgpSession,
+    BgpV4Session,
+    BgpV6Session,
+    MplsTunnel,
+    RoutePolicy,
+)
+from repro.fbnet.models.change import DesignChangeEntry
+from repro.fbnet.models.firewall import AclAction, AclRule, FirewallPolicy
+from repro.fbnet.models.extras import (
+    AsnAllocation,
+    ConsoleServer,
+    DrainEvent,
+    IspPeer,
+    MaintenanceWindow,
+    OpticalChannel,
+    OpticalSpan,
+    PeeringLink,
+    PowerFeed,
+)
+from repro.fbnet.models.derived import (
+    DerivedBgpSession,
+    DerivedCircuit,
+    DerivedDevice,
+    DerivedInterface,
+    DerivedRunningConfig,
+    OperationalEvent,
+)
+
+__all__ = [
+    "AdminStatus",
+    "AclAction",
+    "AclRule",
+    "AsnAllocation",
+    "AggregatedInterface",
+    "AutonomousSystem",
+    "BackboneRouter",
+    "BackboneSite",
+    "BgpSession",
+    "BgpSessionType",
+    "BgpV4Session",
+    "BgpV6Session",
+    "Circuit",
+    "ConsoleServer",
+    "CircuitStatus",
+    "Cluster",
+    "ClusterGeneration",
+    "ClusterStatus",
+    "Datacenter",
+    "DatacenterRouter",
+    "DerivedBgpSession",
+    "DerivedCircuit",
+    "DerivedDevice",
+    "DerivedInterface",
+    "DerivedRunningConfig",
+    "DesignChangeEntry",
+    "Device",
+    "DeviceRole",
+    "DeviceStatus",
+    "DrainEvent",
+    "DrainState",
+    "EventSeverity",
+    "FirewallPolicy",
+    "HardwareProfile",
+    "Interface",
+    "IspPeer",
+    "MaintenanceWindow",
+    "Linecard",
+    "LinecardModel",
+    "LinkGroup",
+    "Location",
+    "LoopbackInterface",
+    "MplsTunnel",
+    "NetworkDomain",
+    "OpticalChannel",
+    "OpticalSpan",
+    "NetworkSwitch",
+    "OperStatus",
+    "OperationalEvent",
+    "PeeringLink",
+    "PeeringRouter",
+    "PhysicalInterface",
+    "Pop",
+    "PowerFeed",
+    "Prefix",
+    "PrefixPool",
+    "Rack",
+    "RackProfile",
+    "Region",
+    "RoutePolicy",
+    "V4Prefix",
+    "V6Prefix",
+    "Vendor",
+]

@@ -1,0 +1,32 @@
+"""Design-change history model (paper section 5.1.3).
+
+Robotron requires an employee id and a ticket id for every design change
+and logs all changes for debugging and error tracking.  Each committed
+design change produces one ``DesignChangeEntry`` recording what it touched;
+the Figure 15 analysis is computed over these entries.
+"""
+
+from __future__ import annotations
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import CharField, DateTimeField, IntField, JSONField
+
+__all__ = ["DesignChangeEntry"]
+
+
+class DesignChangeEntry(Model):
+    """An audit-log row for one committed design change."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    employee_id = CharField(help_text="Who made the change.")
+    ticket_id = CharField(help_text="The tracking ticket authorizing it.")
+    description = CharField(default="", max_length=512)
+    domain = CharField(help_text="'pop', 'datacenter', or 'backbone'.")
+    committed_at = DateTimeField(default=0.0)
+    created_count = IntField(default=0, min_value=0)
+    modified_count = IntField(default=0, min_value=0)
+    deleted_count = IntField(default=0, min_value=0)
+    #: Per-model-type breakdown: {"Circuit": {"created": 2, ...}, ...}
+    per_type_counts = JSONField(default=dict)

@@ -1,0 +1,123 @@
+"""Derived models: the observed network state (paper section 4.1.2).
+
+Derived models are populated from real-time device collection, never by
+design tools.  Following the paper's principles they parallel the Desired
+models where comparison matters (a ``DerivedInterface`` exists because the
+Desired interfaces exist, but only the Derived one carries ``oper_status``)
+and reference components by *name*, since collection does not know Desired
+object ids — the audit layer joins on names.
+"""
+
+from __future__ import annotations
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import (
+    CharField,
+    DateTimeField,
+    EnumField,
+    FloatField,
+    IntField,
+    JSONField,
+)
+from repro.fbnet.models.enums import AdminStatus, EventSeverity, OperStatus
+
+__all__ = [
+    "DerivedBgpSession",
+    "DerivedCircuit",
+    "DerivedDevice",
+    "DerivedInterface",
+    "DerivedRunningConfig",
+    "OperationalEvent",
+]
+
+
+class DerivedDevice(Model):
+    """A device as observed by active monitoring."""
+
+    class Meta:
+        group = ModelGroup.DERIVED
+        unique_together = (("name",),)
+
+    name = CharField(unique=True)
+    vendor = CharField(default="")
+    os_version = CharField(default="")
+    uptime_seconds = FloatField(default=0.0)
+    cpu_utilization = FloatField(default=0.0, help_text="0..1 fraction.")
+    memory_utilization = FloatField(default=0.0, help_text="0..1 fraction.")
+    collected_at = DateTimeField(default=0.0)
+
+
+class DerivedInterface(Model):
+    """An interface as observed; carries ``oper_status`` (section 4.1.2)."""
+
+    class Meta:
+        group = ModelGroup.DERIVED
+        unique_together = (("device_name", "name"),)
+
+    device_name = CharField()
+    name = CharField()
+    oper_status = EnumField(OperStatus, default=OperStatus.UNKNOWN)
+    admin_status = EnumField(AdminStatus, default=AdminStatus.ENABLED)
+    speed_mbps = IntField(default=0, min_value=0)
+    input_bps = FloatField(default=0.0)
+    output_bps = FloatField(default=0.0)
+    collected_at = DateTimeField(default=0.0)
+
+
+class DerivedCircuit(Model):
+    """A circuit inferred from LLDP neighborship (section 4.1.2).
+
+    Created when LLDP data from two devices shows their physical
+    interfaces are neighbors of each other.
+    """
+
+    class Meta:
+        group = ModelGroup.DERIVED
+        unique_together = (("a_device_name", "a_interface_name"),)
+
+    a_device_name = CharField()
+    a_interface_name = CharField()
+    z_device_name = CharField()
+    z_interface_name = CharField()
+    collected_at = DateTimeField(default=0.0)
+
+
+class DerivedBgpSession(Model):
+    """A BGP session state as observed on a device."""
+
+    class Meta:
+        group = ModelGroup.DERIVED
+        unique_together = (("device_name", "peer_ip"),)
+
+    device_name = CharField()
+    peer_ip = CharField()
+    state = CharField(default="idle", help_text="idle/active/established.")
+    prefixes_received = IntField(default=0, min_value=0)
+    collected_at = DateTimeField(default=0.0)
+
+
+class DerivedRunningConfig(Model):
+    """A device's collected running configuration (section 5.4.3)."""
+
+    class Meta:
+        group = ModelGroup.DERIVED
+        unique_together = (("device_name",),)
+
+    device_name = CharField(unique=True)
+    config_hash = CharField()
+    config_text = CharField(max_length=1_000_000)
+    collected_at = DateTimeField(default=0.0)
+
+
+class OperationalEvent(Model):
+    """A classified operational event from the passive pipeline (Table 3)."""
+
+    class Meta:
+        group = ModelGroup.DERIVED
+
+    device_name = CharField()
+    severity = EnumField(EventSeverity)
+    rule_name = CharField(default="", help_text="The regex rule that matched.")
+    message = CharField(max_length=2048)
+    occurred_at = DateTimeField(default=0.0)
+    extra = JSONField(default=dict)

@@ -1,0 +1,108 @@
+"""Device models: routers and switches (paper Figures 2, 5).
+
+``Device`` is abstract; each functional role is a concrete model, matching
+the paper's examples (``BackboneRouter``, ``NetworkSwitch``, ...).  A device
+lives at a location, is built from a hardware profile, and may belong to a
+cluster.  Its ``drain_state`` is the purely operational attribute the paper
+calls out in section 6.1.
+"""
+
+from __future__ import annotations
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import (
+    CharField,
+    EnumField,
+    ForeignKey,
+    OnDelete,
+    V4AddressField,
+    V6AddressField,
+)
+from repro.fbnet.models.enums import DeviceRole, DeviceStatus, DrainState
+from repro.fbnet.models.hardware import HardwareProfile
+from repro.fbnet.models.location import BackboneSite, Cluster, Datacenter, Pop
+
+__all__ = [
+    "BackboneRouter",
+    "DatacenterRouter",
+    "Device",
+    "NetworkSwitch",
+    "PeeringRouter",
+    "RackSwitch",
+]
+
+
+class Device(Model):
+    """Abstract base of every managed network device."""
+
+    class Meta:
+        abstract = True
+
+    name = CharField(unique=True, help_text="Hostname, e.g. 'pop07.c01.psw1'.")
+    hardware_profile = ForeignKey(
+        HardwareProfile, on_delete=OnDelete.PROTECT, related_name="{model}s"
+    )
+    status = EnumField(DeviceStatus, default=DeviceStatus.PLANNED)
+    drain_state = EnumField(DrainState, default=DrainState.DRAINED)
+    loopback_v4 = V4AddressField(null=True)
+    loopback_v6 = V6AddressField(null=True)
+    cluster = ForeignKey(
+        Cluster, null=True, on_delete=OnDelete.PROTECT, related_name="{model}s"
+    )
+
+    #: Functional role; concrete subclasses override.
+    role: DeviceRole
+
+    def vendor(self):
+        """The device's vendor, via its hardware profile."""
+        profile = self.related("hardware_profile")
+        assert profile is not None
+        return profile.vendor
+
+
+class PeeringRouter(Device):
+    """Edge router peering with ISPs and connecting to the backbone (PR)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    role = DeviceRole.PEERING_ROUTER
+    pop = ForeignKey(Pop, on_delete=OnDelete.PROTECT)
+
+
+class BackboneRouter(Device):
+    """Backbone transport router (BB)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    role = DeviceRole.BACKBONE_ROUTER
+    site = ForeignKey(BackboneSite, on_delete=OnDelete.PROTECT)
+
+
+class DatacenterRouter(Device):
+    """Data-center cluster edge router (DR)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    role = DeviceRole.DATACENTER_ROUTER
+    datacenter = ForeignKey(Datacenter, on_delete=OnDelete.PROTECT)
+
+
+class NetworkSwitch(Device):
+    """Aggregation switch in a POP or DC fabric (PSW)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    role = DeviceRole.AGGREGATION_SWITCH
+
+
+class RackSwitch(Device):
+    """Top-of-rack switch (TOR)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    role = DeviceRole.RACK_SWITCH

@@ -1,0 +1,132 @@
+"""Enumerated value domains shared across FBNet models."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = [
+    "AdminStatus",
+    "BgpSessionType",
+    "CircuitStatus",
+    "ClusterGeneration",
+    "ClusterStatus",
+    "DeviceRole",
+    "DeviceStatus",
+    "DrainState",
+    "EventSeverity",
+    "NetworkDomain",
+    "OperStatus",
+    "Vendor",
+]
+
+
+class NetworkDomain(Enum):
+    """The three domains of the 'network of networks' (paper section 2)."""
+
+    POP = "pop"
+    DATACENTER = "datacenter"
+    BACKBONE = "backbone"
+
+
+class Vendor(Enum):
+    """Device vendors.
+
+    The paper anonymizes its two router vendors; we model two dialects —
+    ``VENDOR1`` uses a flat industry-standard CLI (Figure 9, left) and
+    ``VENDOR2`` uses a hierarchical curly-brace config (Figure 9, right).
+    """
+
+    VENDOR1 = "vendor1"
+    VENDOR2 = "vendor2"
+
+
+class DeviceRole(Enum):
+    """Functional role of a network device (Figures 1-2)."""
+
+    PEERING_ROUTER = "pr"
+    BACKBONE_ROUTER = "bb"
+    DATACENTER_ROUTER = "dr"
+    AGGREGATION_SWITCH = "psw"
+    RACK_SWITCH = "tor"
+
+
+class DeviceStatus(Enum):
+    """Life-cycle status of a device."""
+
+    PLANNED = "planned"
+    PROVISIONING = "provisioning"
+    PRODUCTION = "production"
+    DECOMMISSIONED = "decommissioned"
+
+
+class DrainState(Enum):
+    """Whether the component is serving production traffic (section 6.1)."""
+
+    UNDRAINED = "undrained"
+    DRAINING = "draining"
+    DRAINED = "drained"
+
+
+class CircuitStatus(Enum):
+    """Life-cycle status of a circuit."""
+
+    PLANNED = "planned"
+    PROVISIONING = "provisioning"
+    PRODUCTION = "production"
+    DECOMMISSIONED = "decommissioned"
+
+
+class OperStatus(Enum):
+    """Operational state of an interface/session as observed (Derived)."""
+
+    UP = "up"
+    DOWN = "down"
+    UNKNOWN = "unknown"
+
+
+class AdminStatus(Enum):
+    """Administrative (configured) state of an interface."""
+
+    ENABLED = "enabled"
+    DISABLED = "disabled"
+
+
+class BgpSessionType(Enum):
+    """Internal vs external BGP (section 2.3)."""
+
+    IBGP = "ibgp"
+    EBGP = "ebgp"
+
+
+class ClusterGeneration(Enum):
+    """Cluster architecture generations (Figure 12).
+
+    POPs went from Gen1 to bigger Gen2 clusters (in-place upgrades); DCs
+    went through three coexisting generations, with Gen3 being v6-only.
+    """
+
+    POP_GEN1 = "pop-gen1"
+    POP_GEN2 = "pop-gen2"
+    DC_GEN1 = "dc-gen1"  # L2 clusters
+    DC_GEN2 = "dc-gen2"  # L3 BGP clusters
+    DC_GEN3 = "dc-gen3"  # v6-only clusters
+
+
+class ClusterStatus(Enum):
+    """Life-cycle status of a cluster."""
+
+    PLANNED = "planned"
+    TURNUP = "turnup"
+    PRODUCTION = "production"
+    DECOMMISSIONED = "decommissioned"
+
+
+class EventSeverity(Enum):
+    """Urgency levels of classified syslog events (Table 3)."""
+
+    CRITICAL = "critical"
+    MAJOR = "major"
+    MINOR = "minor"
+    WARNING = "warning"
+    NOTICE = "notice"
+    IGNORED = "ignored"

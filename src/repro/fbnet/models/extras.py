@@ -1,0 +1,146 @@
+"""Additional Desired models: optical transport, AS allocations, peering.
+
+The paper's FBNet had "over 250 models in total covering IP/AS number
+allocations, optical transport, BGP, operational events, etc."
+(section 4.1.1).  These models cover those families so the model graph —
+and the Figure 13 related-models analysis — reflects the breadth of the
+production store, not just the core connectivity models.
+"""
+
+from __future__ import annotations
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import (
+    CharField,
+    DateTimeField,
+    EnumField,
+    FloatField,
+    ForeignKey,
+    IntField,
+    OnDelete,
+)
+from repro.fbnet.models.circuit import Circuit
+from repro.fbnet.models.device import Device
+from repro.fbnet.models.enums import DrainState
+from repro.fbnet.models.location import BackboneSite, Pop
+from repro.fbnet.models.routing import AutonomousSystem, BgpV6Session
+
+__all__ = [
+    "AsnAllocation",
+    "ConsoleServer",
+    "DrainEvent",
+    "IspPeer",
+    "MaintenanceWindow",
+    "OpticalChannel",
+    "OpticalSpan",
+    "PeeringLink",
+    "PowerFeed",
+]
+
+
+class OpticalSpan(Model):
+    """A long-haul optical span between two backbone sites (section 2.3)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    name = CharField(unique=True)
+    a_site = ForeignKey(BackboneSite, on_delete=OnDelete.PROTECT, related_name="a_spans")
+    z_site = ForeignKey(BackboneSite, on_delete=OnDelete.PROTECT, related_name="z_spans")
+    provider = CharField(default="")
+    length_km = IntField(default=0, min_value=0)
+
+
+class OpticalChannel(Model):
+    """A wavelength on a span carrying one circuit."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("span", "wavelength_nm"),)
+
+    span = ForeignKey(OpticalSpan, on_delete=OnDelete.CASCADE)
+    circuit = ForeignKey(Circuit, null=True, on_delete=OnDelete.SET_NULL)
+    wavelength_nm = IntField(min_value=1)
+
+
+class AsnAllocation(Model):
+    """An AS number allocated to a site's fabric (IP/AS allocation family)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("autonomous_system", "pop"),)
+
+    autonomous_system = ForeignKey(AutonomousSystem, on_delete=OnDelete.PROTECT)
+    pop = ForeignKey(Pop, null=True, on_delete=OnDelete.PROTECT)
+    purpose = CharField(default="fabric")
+
+
+class IspPeer(Model):
+    """An external peer organization (section 2.1's ISPs)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    name = CharField(unique=True)
+    autonomous_system = ForeignKey(AutonomousSystem, on_delete=OnDelete.PROTECT)
+
+
+class PeeringLink(Model):
+    """A peering/transit interconnect at a POP (section 2.1)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    isp_peer = ForeignKey(IspPeer, on_delete=OnDelete.PROTECT)
+    pop = ForeignKey(Pop, on_delete=OnDelete.PROTECT)
+    circuit = ForeignKey(Circuit, null=True, on_delete=OnDelete.SET_NULL)
+    bgp_session = ForeignKey(BgpV6Session, null=True, on_delete=OnDelete.SET_NULL)
+    kind = CharField(default="peering", help_text="'peering' or 'transit'.")
+
+
+class DrainEvent(Model):
+    """A drain/undrain of a device (the operational-events family)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    device = ForeignKey(Device, on_delete=OnDelete.CASCADE)
+    state = EnumField(DrainState)
+    reason = CharField(default="")
+    at = DateTimeField(default=0.0)
+
+
+class MaintenanceWindow(Model):
+    """A planned window during which a device may be drained."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    device = ForeignKey(Device, on_delete=OnDelete.CASCADE)
+    ticket_id = CharField(default="")
+    starts_at = DateTimeField(default=0.0)
+    ends_at = DateTimeField(default=0.0)
+
+
+class ConsoleServer(Model):
+    """Out-of-band console access for a device."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("device", "port"),)
+
+    name = CharField()
+    device = ForeignKey(Device, on_delete=OnDelete.CASCADE)
+    port = IntField(min_value=0)
+
+
+class PowerFeed(Model):
+    """A power feed supplying a device (asset/facility family)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("device", "feed"),)
+
+    device = ForeignKey(Device, on_delete=OnDelete.CASCADE)
+    feed = CharField(help_text="'A' or 'B'.")
+    watts = FloatField(default=0.0)

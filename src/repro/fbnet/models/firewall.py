@@ -1,0 +1,53 @@
+"""Firewall policy models (paper sections 1 and 5.3.2).
+
+"Access control list modification" is one of the paper's everyday
+management tasks, and firewall rule changes are its canonical example of
+a deployment that must roll out in phases.  A ``FirewallPolicy`` applies
+to every device of a role; its ordered ``AclRule`` objects compile into
+each vendor's ACL syntax during config generation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import CharField, EnumField, ForeignKey, IntField, OnDelete
+from repro.fbnet.models.enums import DeviceRole
+
+__all__ = ["AclAction", "AclRule", "FirewallPolicy"]
+
+
+class AclAction(Enum):
+    """What a matching packet receives."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+class FirewallPolicy(Model):
+    """A named ACL applied to every device of one role."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    name = CharField(unique=True, help_text="Policy name, e.g. 'edge-in'.")
+    applies_to_role = EnumField(DeviceRole)
+    description = CharField(default="")
+
+
+class AclRule(Model):
+    """One ordered rule within a policy."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("policy", "sequence"),)
+
+    policy = ForeignKey(FirewallPolicy, on_delete=OnDelete.CASCADE)
+    sequence = IntField(min_value=1, help_text="Evaluation order within the policy.")
+    action = EnumField(AclAction)
+    protocol = CharField(default="any", help_text="'tcp', 'udp', 'icmp6', or 'any'.")
+    source = CharField(default="any", help_text="Source prefix or 'any'.")
+    destination = CharField(default="any", help_text="Destination prefix or 'any'.")
+    port = IntField(null=True, min_value=1, max_value=65535)
+    description = CharField(default="")

@@ -1,0 +1,44 @@
+"""Hardware profile models.
+
+A hardware profile describes a device SKU: its vendor, how many linecard
+slots it has, and what each linecard provides.  Topology templates reference
+profiles by name (paper Figure 7: ``Router_Vendor1``), and design validation
+uses them to check port-capacity limits.
+"""
+
+from __future__ import annotations
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import CharField, EnumField, ForeignKey, IntField, OnDelete
+from repro.fbnet.models.enums import Vendor
+
+__all__ = ["HardwareProfile", "LinecardModel"]
+
+
+class LinecardModel(Model):
+    """A linecard SKU: port count and per-port speed."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    name = CharField(unique=True, help_text="Linecard SKU, e.g. 'LC-48x10G'.")
+    port_count = IntField(min_value=1)
+    port_speed_mbps = IntField(min_value=10)
+
+
+class HardwareProfile(Model):
+    """A device SKU referenced by topology templates (Figure 7)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    name = CharField(unique=True, help_text="Profile name, e.g. 'Router_Vendor1'.")
+    vendor = EnumField(Vendor)
+    slot_count = IntField(min_value=1, help_text="Number of linecard slots.")
+    linecard_model = ForeignKey(LinecardModel, on_delete=OnDelete.PROTECT)
+
+    def total_ports(self) -> int:
+        """Maximum number of physical ports when fully populated."""
+        lc = self.related("linecard_model")
+        assert lc is not None
+        return self.slot_count * lc.port_count

@@ -1,0 +1,100 @@
+"""Linecard and interface models (paper Figures 4-5).
+
+The modeling follows the paper exactly: physical interfaces reside in a
+linecard (named ``etX/Y`` where X is the linecard slot, Y the port) and are
+grouped many-to-one into an aggregated interface (``aeN``) running LACP.
+A physical interface reaches its device *indirectly* via its linecard —
+the paper's section 4.1.2 principle (3): no duplicated ``device`` field.
+"""
+
+from __future__ import annotations
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import (
+    BoolField,
+    CharField,
+    ForeignKey,
+    IntField,
+    OnDelete,
+)
+from repro.fbnet.models.device import Device
+
+__all__ = ["AggregatedInterface", "Interface", "Linecard", "PhysicalInterface"]
+
+
+class Linecard(Model):
+    """A linecard installed in a device chassis slot."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("device", "slot"),)
+
+    device = ForeignKey(Device, on_delete=OnDelete.CASCADE)
+    slot = IntField(min_value=0)
+    linecard_model = ForeignKey("LinecardModel", on_delete=OnDelete.PROTECT)
+
+
+class Interface(Model):
+    """Abstract base of physical and aggregated interfaces."""
+
+    class Meta:
+        abstract = True
+
+    name = CharField(help_text="Interface name, e.g. 'et1/2' or 'ae0'.")
+    description = CharField(default="", max_length=512)
+    mtu = IntField(default=9192, min_value=68, max_value=65535)
+    enabled = BoolField(default=True)
+
+
+class AggregatedInterface(Interface):
+    """A LACP bundle of physical interfaces (``aeN``)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("device", "number"),)
+
+    device = ForeignKey(Device, on_delete=OnDelete.CASCADE)
+    number = IntField(min_value=0, help_text="The N in 'aeN'.")
+    lacp_fast = BoolField(default=True)
+
+
+class LoopbackInterface(Interface):
+    """A device loopback (``loN``), anchor for loopback prefixes.
+
+    Backbone routers carry their iBGP session endpoints on loopbacks, so
+    loopback prefixes must be Desired objects like any other allocation.
+    """
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("device", "unit"),)
+
+    device = ForeignKey(Device, on_delete=OnDelete.CASCADE)
+    unit = IntField(default=0, min_value=0)
+
+
+class PhysicalInterface(Interface):
+    """A physical port (``etX/Y``), resident in a linecard.
+
+    ``agg_interface`` captures the many-to-one grouping into a LACP bundle
+    (Figure 5); it is null for ungrouped ports (e.g. TOR downlinks).
+    """
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("linecard", "port"),)
+
+    linecard = ForeignKey(Linecard, on_delete=OnDelete.CASCADE)
+    port = IntField(min_value=0, help_text="The Y in 'etX/Y'.")
+    speed_mbps = IntField(default=10_000, min_value=10)
+    agg_interface = ForeignKey(
+        AggregatedInterface, null=True, on_delete=OnDelete.SET_NULL
+    )
+
+    def device(self) -> Device:
+        """The owning device, reached indirectly through the linecard."""
+        linecard = self.related("linecard")
+        assert linecard is not None
+        device = linecard.related("device")
+        assert device is not None
+        return device

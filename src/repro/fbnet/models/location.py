@@ -1,0 +1,120 @@
+"""Location, cluster, and rack models.
+
+Locations anchor the 'network of networks': edge POPs, data centers, and
+backbone sites (paper Figure 1).  Clusters group the devices built from one
+topology template (section 5.1.1); racks and rack profiles drive DC
+downlink allocation (the stale-config war story of section 8 revolves
+around rack profiles).
+"""
+
+from __future__ import annotations
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import (
+    BoolField,
+    CharField,
+    EnumField,
+    ForeignKey,
+    IntField,
+    OnDelete,
+)
+from repro.fbnet.models.enums import (
+    ClusterGeneration,
+    ClusterStatus,
+    NetworkDomain,
+)
+
+__all__ = [
+    "BackboneSite",
+    "Cluster",
+    "Datacenter",
+    "Location",
+    "Pop",
+    "Rack",
+    "RackProfile",
+    "Region",
+]
+
+
+class Region(Model):
+    """A geographic region used for replication placement and phased rollout."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    name = CharField(unique=True, help_text="Region code, e.g. 'na-east'.")
+
+
+class Location(Model):
+    """Abstract base of every physical site."""
+
+    class Meta:
+        abstract = True
+
+    name = CharField(unique=True, help_text="Site code, e.g. 'pop07'.")
+    region = ForeignKey(Region, on_delete=OnDelete.PROTECT, related_name="{model}s")
+    domain = EnumField(NetworkDomain, help_text="Which network domain this site is in.")
+
+
+class Pop(Location):
+    """An edge point-of-presence cluster site (section 2.1)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    peering_capacity_gbps = IntField(
+        default=0, min_value=0, help_text="Total provisioned peering/transit capacity."
+    )
+
+
+class Datacenter(Location):
+    """A data-center site hosting one or more clusters (section 2.2)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    hall_count = IntField(default=1, min_value=1)
+
+
+class BackboneSite(Location):
+    """A backbone location housing backbone routers (section 2.3)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+
+class RackProfile(Model):
+    """How many downlinks each rack of this profile consumes (section 8)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    name = CharField(unique=True)
+    downlinks_per_rack = IntField(min_value=1)
+    downlink_speed_mbps = IntField(default=10_000, min_value=10)
+
+
+class Cluster(Model):
+    """A group of devices built from one topology template (section 5.1.1)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    name = CharField(unique=True, help_text="Cluster code, e.g. 'pop07.c01'.")
+    pop = ForeignKey(Pop, null=True, on_delete=OnDelete.PROTECT)
+    datacenter = ForeignKey(Datacenter, null=True, on_delete=OnDelete.PROTECT)
+    generation = EnumField(ClusterGeneration)
+    status = EnumField(ClusterStatus, default=ClusterStatus.PLANNED)
+    v6_only = BoolField(default=False, help_text="Gen3 DC clusters are v6-only.")
+
+
+class Rack(Model):
+    """A server rack within a cluster, consuming downlinks per its profile."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("cluster", "name"),)
+
+    name = CharField()
+    cluster = ForeignKey(Cluster, on_delete=OnDelete.CASCADE)
+    rack_profile = ForeignKey(RackProfile, on_delete=OnDelete.PROTECT)

@@ -1,0 +1,68 @@
+"""IP prefix models and allocation pools (paper Figures 5-6).
+
+Prefixes are configured per aggregated interface (the /31 v4 and /127 v6
+point-to-point subnets of Figure 4).  ``PrefixPool`` backs the IPAM
+allocators in :mod:`repro.design.ipam`; the paper's section 7 recounts how
+circuit IPs used to be found by pinging — Desired-model pools replaced that.
+"""
+
+from __future__ import annotations
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import (
+    CharField,
+    ForeignKey,
+    IntField,
+    OnDelete,
+    V4PrefixField,
+    V6PrefixField,
+)
+from repro.fbnet.models.interface import Interface
+
+__all__ = ["Prefix", "PrefixPool", "V4Prefix", "V6Prefix"]
+
+
+class PrefixPool(Model):
+    """An allocation pool that IPAM carves point-to-point subnets from."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    name = CharField(unique=True, help_text="e.g. 'backbone-p2p-v6'.")
+    prefix = CharField(help_text="The pool's covering prefix in CIDR form.")
+    version = IntField(min_value=4, max_value=6, help_text="4 or 6.")
+    purpose = CharField(default="p2p", help_text="'p2p', 'loopback', or 'rack'.")
+
+
+class Prefix(Model):
+    """Abstract base of interface-assigned prefixes."""
+
+    class Meta:
+        abstract = True
+
+    interface = ForeignKey(
+        Interface, on_delete=OnDelete.CASCADE, related_name="{model}es"
+    )
+    pool = ForeignKey(PrefixPool, null=True, on_delete=OnDelete.PROTECT)
+
+
+class V4Prefix(Prefix):
+    """An IPv4 interface address with mask, e.g. ``10.128.0.0/31``."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    prefix = V4PrefixField(unique=True)
+
+
+class V6Prefix(Prefix):
+    """An IPv6 interface address with mask, e.g. ``2401:db00::/127``.
+
+    Mirrors the paper's Figure 6 ``V6Prefix`` model, including the custom
+    prefix field that rejects non-IPv6 values at assignment.
+    """
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    prefix = V6PrefixField(unique=True)

@@ -1,0 +1,138 @@
+"""Routing models: AS numbers, BGP sessions, MPLS-TE tunnels (sections 2.3, 4.1).
+
+BGP sessions are modeled per address family (``BgpV4Session`` /
+``BgpV6Session``) — the paper notes ``BGPV4Session`` was created during the
+Gen1 (L2) to Gen2 (L3 BGP) DC transition (section 6.1).  iBGP sessions
+between backbone edge nodes form a full mesh, which is why adding a router
+touches session objects on *all* other routers (section 5.1.2).
+"""
+
+from __future__ import annotations
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import (
+    ASNField,
+    CharField,
+    EnumField,
+    ForeignKey,
+    IntField,
+    JSONField,
+    OnDelete,
+    V4AddressField,
+    V6AddressField,
+)
+from repro.fbnet.models.device import Device
+from repro.fbnet.models.enums import BgpSessionType
+
+__all__ = [
+    "AutonomousSystem",
+    "BgpSession",
+    "BgpV4Session",
+    "BgpV6Session",
+    "MplsTunnel",
+    "RoutePolicy",
+]
+
+
+class AutonomousSystem(Model):
+    """A BGP autonomous system (ours or a peer's)."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    asn = ASNField(unique=True)
+    name = CharField(default="")
+
+
+class RoutePolicy(Model):
+    """A BGP import/export policy of cherry-picked prefixes.
+
+    The paper's section-8 incident involved an ISP session requiring "a
+    custom import policy containing cherry-picked prefixes"; sessions
+    reference their policy here and config generation renders it into
+    each vendor's policy syntax.
+    """
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    name = CharField(unique=True)
+    #: The prefixes the policy matches, as CIDR strings.
+    prefixes = JSONField(default=list)
+    action = CharField(default="permit", help_text="'permit' or 'deny'.")
+    description = CharField(default="")
+
+
+class BgpSession(Model):
+    """Abstract base of per-address-family BGP sessions.
+
+    One object per *session*: ``device``/``local_ip`` is one endpoint and
+    ``peer_device``/``peer_ip`` the other; config generation emits both
+    sides from the same object, which is how Robotron guarantees that
+    "proper configuration exists in both peers of every session"
+    (section 1).  ``peer_device`` is null for external (ISP) peers.
+    An iBGP full mesh over N devices therefore has N*(N-1)/2 objects,
+    and adding a router creates sessions touching every other router.
+    """
+
+    class Meta:
+        abstract = True
+
+    device = ForeignKey(Device, on_delete=OnDelete.CASCADE, related_name="{model}s")
+    peer_device = ForeignKey(
+        Device,
+        null=True,
+        on_delete=OnDelete.CASCADE,
+        related_name="peer_{model}s",
+    )
+    session_type = EnumField(BgpSessionType)
+    local_asn = ASNField()
+    peer_asn = ASNField()
+    description = CharField(default="")
+    import_policy = ForeignKey(
+        RoutePolicy, null=True, on_delete=OnDelete.PROTECT,
+        related_name="importing_{model}s",
+    )
+
+
+class BgpV4Session(BgpSession):
+    """A BGP session over IPv4."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("device", "peer_ip"),)
+
+    local_ip = V4AddressField()
+    peer_ip = V4AddressField()
+
+
+class BgpV6Session(BgpSession):
+    """A BGP session over IPv6."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("device", "peer_ip"),)
+
+    local_ip = V6AddressField()
+    peer_ip = V6AddressField()
+
+
+class MplsTunnel(Model):
+    """An MPLS-TE tunnel (label-switched path) between two edge nodes.
+
+    Tunnels form a mesh between PRs and DRs across the backbone
+    (section 2.3); node addition/removal regenerates the mesh.
+    """
+
+    class Meta:
+        group = ModelGroup.DESIRED
+        unique_together = (("head_device", "tail_device"),)
+
+    name = CharField(unique=True)
+    head_device = ForeignKey(
+        Device, on_delete=OnDelete.CASCADE, related_name="head_tunnels"
+    )
+    tail_device = ForeignKey(
+        Device, on_delete=OnDelete.CASCADE, related_name="tail_tunnels"
+    )
+    bandwidth_mbps = IntField(default=0, min_value=0)

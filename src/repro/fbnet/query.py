@@ -1,0 +1,292 @@
+"""The FBNet query language (paper section 4.2.1).
+
+A query is a tree of *expressions* of the form ``<field> <op> <rvalue>``
+where ``field`` is a local or indirect (dotted) value field, ``op`` is a
+comparison operator, and ``rvalue`` is a list of values to compare against.
+Expressions compose with logical ``And``/``Or``/``Not`` into arbitrarily
+complex queries.
+
+Dotted field paths traverse relationship fields — forwards through foreign
+keys (``linecard.device.name``) and backwards through reverse connections
+(``device.linecards.slot``).  A reverse hop fans out to many objects, in
+which case an expression matches if *any* leaf value matches.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+from enum import Enum
+from typing import TYPE_CHECKING, Any
+
+from repro.common.errors import QueryError
+from repro.fbnet.fields import ForeignKey
+
+if TYPE_CHECKING:
+    from repro.fbnet.base import Model
+
+__all__ = ["And", "Expr", "Not", "Op", "Or", "Query", "resolve_path"]
+
+
+class Op(Enum):
+    """Comparison operators available in query expressions."""
+
+    EQUAL = "=="
+    NOT_EQUAL = "!="
+    REGEXP = "=~"
+    GT = ">"
+    GTE = ">="
+    LT = "<"
+    LTE = "<="
+    CONTAINS = "contains"
+    STARTSWITH = "startswith"
+    IS_NULL = "isnull"
+
+
+_ORDERED_OPS = {Op.GT, Op.GTE, Op.LT, Op.LTE}
+
+
+def resolve_path(obj: Model, path: str) -> list[Any]:
+    """Resolve a dotted field ``path`` from ``obj`` to its leaf values.
+
+    Forward FK hops yield at most one next object; reverse-relation hops
+    fan out.  Missing links (null FKs) contribute no leaves.  The final
+    segment must be a value field (or ``id``); enum values are unwrapped
+    to their raw ``.value`` for comparison.
+    """
+    from repro.fbnet.base import model_registry
+
+    parts = path.split(".")
+    current: list[Model] = [obj]
+    for index, part in enumerate(parts):
+        is_last = index == len(parts) - 1
+        next_objects: list[Model] = []
+        leaves: list[Any] = []
+        for node in current:
+            meta = type(node)._meta
+            if part == "id":
+                leaves.append(node.id)
+                continue
+            field = meta.fields.get(part)
+            if isinstance(field, ForeignKey):
+                related = node.related(part)
+                if related is not None:
+                    if is_last:
+                        # Terminal FK segment compares against the raw id.
+                        leaves.append(related.id)
+                    else:
+                        next_objects.append(related)
+                continue
+            if field is not None:
+                value = node.__dict__.get(part)
+                if isinstance(value, Enum):
+                    value = value.value
+                leaves.append(value)
+                continue
+            reverse = model_registry.reverse_relations(type(node))
+            if part in reverse:
+                next_objects.extend(node.__getattr__(part))
+                continue
+            raise QueryError(
+                f"unknown field {part!r} in path {path!r} on {type(node).__name__}"
+            )
+        if is_last:
+            if next_objects and not leaves:
+                raise QueryError(
+                    f"path {path!r} ends on a relationship; "
+                    "append a value field (e.g. '.name')"
+                )
+            return leaves
+        current = next_objects
+        if not current:
+            return []
+    return []
+
+
+class Query:
+    """Abstract base of all query nodes."""
+
+    def matches(self, obj: Model) -> bool:
+        raise NotImplementedError
+
+    def to_wire(self) -> dict[str, Any]:
+        """Serialize to a JSON-compatible dict for the RPC layer."""
+        raise NotImplementedError
+
+    @staticmethod
+    def from_wire(data: dict[str, Any] | None) -> Query | None:
+        """Reconstruct a query tree from :meth:`to_wire` output."""
+        if data is None:
+            return None
+        kind = data.get("kind")
+        if kind == "expr":
+            return Expr(data["field"], Op(data["op"]), list(data["rvalues"]))
+        if kind == "and":
+            return And(*[Query.from_wire(child) for child in data["children"]])
+        if kind == "or":
+            return Or(*[Query.from_wire(child) for child in data["children"]])
+        if kind == "not":
+            return Not(Query.from_wire(data["child"]))
+        raise QueryError(f"bad wire query node: {data!r}")
+
+    def __and__(self, other: Query) -> Query:
+        return And(self, other)
+
+    def __or__(self, other: Query) -> Query:
+        return Or(self, other)
+
+    def __invert__(self) -> Query:
+        return Not(self)
+
+
+class Expr(Query):
+    """A single ``<field> <op> <rvalue>`` comparison.
+
+    ``rvalue`` may be a scalar or a list; for ``EQUAL``/``NOT_EQUAL``/
+    ``REGEXP`` a list means "any of" (per the paper, rvalue is a list of
+    values to compare against).  Ordered operators require exactly one
+    rvalue.
+    """
+
+    def __init__(self, field: str, op: Op | str, rvalue: Any = None):
+        if not isinstance(op, Op):
+            try:
+                op = Op(op)
+            except ValueError:
+                raise QueryError(f"unknown operator {op!r}") from None
+        self.field = field
+        self.op = op
+        if op is Op.IS_NULL:
+            self.rvalues: tuple[Any, ...] = (bool(rvalue) if rvalue is not None else True,)
+        elif isinstance(rvalue, (list, tuple, set, frozenset)):
+            self.rvalues = tuple(rvalue)
+        else:
+            self.rvalues = (rvalue,)
+        if op in _ORDERED_OPS and len(self.rvalues) != 1:
+            raise QueryError(f"{op.name} takes exactly one rvalue")
+        if not self.rvalues and op is not Op.IS_NULL:
+            raise QueryError("empty rvalue list")
+        if op is Op.REGEXP:
+            try:
+                self._patterns = [re.compile(str(p)) for p in self.rvalues]
+            except re.error as exc:
+                raise QueryError(f"bad regexp in query: {exc}") from None
+
+    def matches(self, obj: Model) -> bool:
+        leaves = resolve_path(obj, self.field)
+        if self.op is Op.IS_NULL:
+            want_null = bool(self.rvalues[0])
+            is_null = not leaves or all(leaf is None for leaf in leaves)
+            return is_null == want_null
+        if self.op is Op.NOT_EQUAL:
+            # NOT_EQUAL is the negation of EQUAL over the leaf set.
+            return not any(self._compare_equal(leaf) for leaf in leaves)
+        return any(self._compare(leaf) for leaf in leaves)
+
+    def _compare_equal(self, leaf: Any) -> bool:
+        return any(leaf == rv for rv in self.rvalues)
+
+    def _compare(self, leaf: Any) -> bool:
+        op = self.op
+        if op is Op.EQUAL:
+            return self._compare_equal(leaf)
+        if op is Op.REGEXP:
+            if leaf is None:
+                return False
+            return any(p.search(str(leaf)) for p in self._patterns)
+        if op is Op.CONTAINS:
+            if leaf is None:
+                return False
+            return any(str(rv) in str(leaf) for rv in self.rvalues)
+        if op is Op.STARTSWITH:
+            if leaf is None:
+                return False
+            return any(str(leaf).startswith(str(rv)) for rv in self.rvalues)
+        if op in _ORDERED_OPS:
+            if leaf is None:
+                return False
+            rv = self.rvalues[0]
+            try:
+                if op is Op.GT:
+                    return leaf > rv
+                if op is Op.GTE:
+                    return leaf >= rv
+                if op is Op.LT:
+                    return leaf < rv
+                return leaf <= rv
+            except TypeError:
+                raise QueryError(
+                    f"cannot order {type(leaf).__name__} against {type(rv).__name__} "
+                    f"for field {self.field!r}"
+                ) from None
+        raise QueryError(f"unhandled operator {op}")  # pragma: no cover
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "kind": "expr",
+            "field": self.field,
+            "op": self.op.value,
+            "rvalues": list(self.rvalues),
+        }
+
+    def __repr__(self) -> str:
+        return f"Expr({self.field!r} {self.op.value} {list(self.rvalues)!r})"
+
+
+class And(Query):
+    """True when every child query matches."""
+
+    def __init__(self, *children: Query):
+        if not children:
+            raise QueryError("And() requires at least one child")
+        self.children = children
+
+    def matches(self, obj: Model) -> bool:
+        return all(child.matches(obj) for child in self.children)
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "and", "children": [c.to_wire() for c in self.children]}
+
+    def __repr__(self) -> str:
+        return f"And({', '.join(map(repr, self.children))})"
+
+
+class Or(Query):
+    """True when any child query matches."""
+
+    def __init__(self, *children: Query):
+        if not children:
+            raise QueryError("Or() requires at least one child")
+        self.children = children
+
+    def matches(self, obj: Model) -> bool:
+        return any(child.matches(obj) for child in self.children)
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "or", "children": [c.to_wire() for c in self.children]}
+
+    def __repr__(self) -> str:
+        return f"Or({', '.join(map(repr, self.children))})"
+
+
+class Not(Query):
+    """True when the child query does not match."""
+
+    def __init__(self, child: Query):
+        self.child = child
+
+    def matches(self, obj: Model) -> bool:
+        return not self.child.matches(obj)
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"kind": "not", "child": self.child.to_wire()}
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"
+
+
+def ensure_query(query: Query | None) -> Query | None:
+    """Validate the ``query`` argument of read APIs."""
+    if query is not None and not isinstance(query, Query):
+        raise QueryError(f"expected a Query, got {type(query).__name__}")
+    return query

@@ -1,0 +1,404 @@
+"""FBNet's multi-region replication and failover (paper section 4.3.3).
+
+The paper runs one MySQL master plus one slave per data center, replicated
+asynchronously with a typical lag under one second.  Reads are served by
+region-local service replicas; writes are forwarded to the master region.
+This module reproduces those semantics on the simulated clock:
+
+* every committed master transaction ships to each replica region and is
+  applied after that region's replication lag;
+* a replica database is disabled when it fails health checks or when its
+  replication lag exceeds the configured maximum — its region's service
+  replicas then *redirect reads to the master database* until it recovers;
+* when the master fails, the replica in the **nearest** region is promoted;
+  the new master serves all reads and writes destined for the old master;
+* when a service replica process crashes, requests redirect to surviving
+  replicas in the same region, then to the nearest live region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Any
+
+from repro.common.errors import ReplicationError, RpcError
+from repro.fbnet.query import Query
+from repro.fbnet.rpc import RpcRequest, RpcResponse, ServiceReplica
+from repro.fbnet.store import ChangeRecord, ObjectStore
+from repro.simulation.clock import EventScheduler
+
+__all__ = ["FBNetClient", "RegionState", "ReplicatedFBNet"]
+
+#: Consistency levels accepted by the client read path.
+READ_LOCAL = "local"
+READ_AFTER_WRITE = "read-after-write"
+
+
+@dataclass
+class RegionState:
+    """Per-region databases and service replicas."""
+
+    name: str
+    store: ObjectStore
+    db_healthy: bool = True
+    #: Replication lag applied to records shipped to this region.
+    lag: float = 0.5
+    #: Commit timestamps of shipped-but-unapplied batches (lag measurement).
+    in_flight: list[float] = dc_field(default_factory=list)
+    #: Batches that arrived while the database was disabled.
+    backlog: list[list[ChangeRecord]] = dc_field(default_factory=list)
+    read_replicas: list[ServiceReplica] = dc_field(default_factory=list)
+    write_replicas: list[ServiceReplica] = dc_field(default_factory=list)
+
+    def applied_position(self) -> int:
+        return self.store.journal_position
+
+
+class ReplicatedFBNet:
+    """A multi-region FBNet deployment: one master, one replica per region.
+
+    ``regions`` is ordered by geography: the distance between two regions
+    is the difference of their indices, and "nearest" follows that order
+    (the paper promotes the slave in the nearest data center).
+    """
+
+    def __init__(
+        self,
+        regions: list[str],
+        master_region: str,
+        scheduler: EventScheduler | None = None,
+        *,
+        replication_lag: float = 0.5,
+        read_replicas_per_region: int = 2,
+        write_replicas: int = 2,
+        max_lag: float = 30.0,
+    ):
+        if master_region not in regions:
+            raise ValueError(f"master region {master_region!r} not in {regions}")
+        if len(set(regions)) != len(regions):
+            raise ValueError("duplicate region names")
+        self.scheduler = scheduler or EventScheduler()
+        self.region_order = list(regions)
+        self.master_region = master_region
+        self.max_lag = max_lag
+        self.regions: dict[str, RegionState] = {}
+        for region in regions:
+            state = RegionState(
+                name=region,
+                store=ObjectStore(name=f"fbnet-{region}"),
+                lag=replication_lag,
+            )
+            for i in range(read_replicas_per_region):
+                state.read_replicas.append(
+                    ServiceReplica(f"{region}-read-{i}", region, "read", state.store)
+                )
+            self.regions[region] = state
+        # Write replicas are deployed in the master region only.
+        master = self.regions[master_region]
+        for i in range(write_replicas):
+            master.write_replicas.append(
+                ServiceReplica(f"{master_region}-write-{i}", master_region, "write", master.store)
+            )
+        self._install_shipping(master.store)
+        #: Promotion history for tests/benches: (time, old master, new master).
+        self.promotions: list[tuple[float, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Shipping
+    # ------------------------------------------------------------------
+
+    @property
+    def master(self) -> RegionState:
+        return self.regions[self.master_region]
+
+    def _install_shipping(self, master_store: ObjectStore) -> None:
+        def ship(records: list[ChangeRecord]) -> None:
+            if not records:
+                return
+            committed_at = self.scheduler.clock.now
+            for region in self.regions.values():
+                if region.store is master_store:
+                    continue
+                region.in_flight.append(committed_at)
+                batch = list(records)
+                self.scheduler.call_at(
+                    committed_at + region.lag,
+                    lambda r=region, b=batch, t=committed_at: self._arrive(r, b, t),
+                    name=f"replicate->{region.name}",
+                )
+
+        master_store.add_commit_listener(ship)
+
+    def _arrive(
+        self, region: RegionState, records: list[ChangeRecord], committed_at: float
+    ) -> None:
+        if committed_at in region.in_flight:
+            region.in_flight.remove(committed_at)
+        if region.name == self.master_region:
+            return  # region was promoted while the batch was in flight
+        if not region.db_healthy:
+            region.backlog.append(records)
+            return
+        self._apply_batch(region, records)
+
+    @staticmethod
+    def _apply_batch(region: RegionState, records: list[ChangeRecord]) -> None:
+        for record in records:
+            region.store.apply_record(record)
+
+    # ------------------------------------------------------------------
+    # Health and failover
+    # ------------------------------------------------------------------
+
+    def measured_lag(self, region_name: str) -> float:
+        """Replication lag of ``region_name``: age of its oldest in-flight batch."""
+        region = self.regions[region_name]
+        if not region.in_flight:
+            return 0.0
+        return self.scheduler.clock.now - min(region.in_flight)
+
+    def check_health(self) -> list[str]:
+        """Run the health checker once; returns regions disabled this pass.
+
+        A replica database is disabled when its replication lag exceeds
+        ``max_lag`` (the paper disables slaves experiencing high lag).
+        """
+        disabled = []
+        for region in self.regions.values():
+            if region.name == self.master_region or not region.db_healthy:
+                continue
+            if self.measured_lag(region.name) > self.max_lag:
+                self.disable_database(region.name)
+                disabled.append(region.name)
+        return disabled
+
+    def disable_database(self, region_name: str) -> None:
+        """Take a region's database out of service.
+
+        Its read service replicas temporarily redirect reads to the master
+        database (paper section 4.3.3).
+        """
+        region = self.regions[region_name]
+        region.db_healthy = False
+        if region_name == self.master_region:
+            return  # master failure is handled by promote()
+        for replica in region.read_replicas:
+            replica.retarget(self.master.store)
+
+    def recover_database(self, region_name: str) -> None:
+        """Bring a region's database back: resync, drain backlog, reattach."""
+        region = self.regions[region_name]
+        if region.db_healthy:
+            return
+        if region_name == self.master_region:
+            raise ReplicationError(
+                "recovering a failed master requires promote() first; "
+                "it rejoins as a replica"
+            )
+        self._resync(region)
+        region.db_healthy = True
+        for replica in region.read_replicas:
+            replica.retarget(region.store)
+
+    def _resync(self, region: RegionState) -> None:
+        """Rebuild a region's store from the master's full journal."""
+        fresh = ObjectStore(name=f"fbnet-{region.name}")
+        for record in self.master.store.journal:
+            fresh.apply_record(record)
+        region.store = fresh
+        region.backlog.clear()
+        region.in_flight.clear()
+
+    def fail_master(self) -> None:
+        """Simulate the master database going down (writes now fail)."""
+        self.master.db_healthy = False
+
+    def promote_nearest(self) -> str:
+        """Promote the replica in the nearest healthy region to master.
+
+        The promoted store may miss in-flight transactions (asynchronous
+        replication loses the tail on master failure); everything already
+        applied there is preserved.  Returns the new master region.
+        """
+        old_master = self.master_region
+        candidates = sorted(
+            (
+                region
+                for region in self.regions.values()
+                if region.name != old_master and region.db_healthy
+            ),
+            key=lambda region: self._distance(old_master, region.name),
+        )
+        if not candidates:
+            raise ReplicationError("no healthy replica available for promotion")
+        new_master = candidates[0]
+        # Apply anything that already arrived but was backlogged.
+        for batch in new_master.backlog:
+            self._apply_batch(new_master, batch)
+        new_master.backlog.clear()
+        self.master_region = new_master.name
+        self.promotions.append(
+            (self.scheduler.clock.now, old_master, new_master.name)
+        )
+        # Move the write tier to the new master region.
+        old = self.regions[old_master]
+        for replica in old.write_replicas:
+            replica.crash()
+        if not new_master.write_replicas:
+            for i in range(max(1, len(old.write_replicas))):
+                new_master.write_replicas.append(
+                    ServiceReplica(
+                        f"{new_master.name}-write-{i}",
+                        new_master.name,
+                        "write",
+                        new_master.store,
+                    )
+                )
+        self._install_shipping(new_master.store)
+        # Healthy replicas resync from the new master to a consistent base.
+        for region in self.regions.values():
+            if region.name == self.master_region or not region.db_healthy:
+                continue
+            self._resync(region)
+            for replica in region.read_replicas:
+                replica.retarget(region.store)
+        return new_master.name
+
+    def rejoin_old_master(self, region_name: str) -> None:
+        """A recovered ex-master rejoins as a replica of the current master."""
+        region = self.regions[region_name]
+        if region_name == self.master_region:
+            raise ReplicationError(f"{region_name} is the current master")
+        self._resync(region)
+        region.db_healthy = True
+        for replica in region.read_replicas:
+            replica.retarget(region.store)
+
+    def _distance(self, a: str, b: str) -> int:
+        return abs(self.region_order.index(a) - self.region_order.index(b))
+
+    # ------------------------------------------------------------------
+    # Client access
+    # ------------------------------------------------------------------
+
+    def client(self, region_name: str) -> FBNetClient:
+        """An application client homed in ``region_name``."""
+        if region_name not in self.regions:
+            raise ValueError(f"unknown region {region_name!r}")
+        return FBNetClient(self, region_name)
+
+    def _read_candidates(
+        self, region_name: str, consistency: str
+    ) -> list[ServiceReplica]:
+        if consistency == READ_AFTER_WRITE:
+            # Read service replicas deployed for the master database.
+            home: list[str] = [self.master_region]
+        else:
+            home = [region_name]
+        ordered_regions = home + sorted(
+            (r for r in self.region_order if r not in home),
+            key=lambda r: self._distance(home[0], r),
+        )
+        candidates: list[ServiceReplica] = []
+        for name in ordered_regions:
+            candidates.extend(
+                replica
+                for replica in self.regions[name].read_replicas
+                if replica.healthy
+            )
+        return candidates
+
+    def _write_candidates(self) -> list[ServiceReplica]:
+        if not self.master.db_healthy:
+            return []
+        return [r for r in self.master.write_replicas if r.healthy]
+
+
+class FBNetClient:
+    """A region-homed application client speaking the RPC wire format."""
+
+    def __init__(self, cluster: ReplicatedFBNet, region: str):
+        self._cluster = cluster
+        self.region = region
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(
+        self,
+        model_name: str,
+        fields: list[str] | None = None,
+        query: Query | None = None,
+        consistency: str = READ_LOCAL,
+    ) -> list[dict[str, Any]]:
+        request = RpcRequest(
+            service="read",
+            method="get",
+            args={
+                "model": model_name,
+                "fields": fields,
+                "query": query.to_wire() if query else None,
+            },
+        )
+        return self._call(request, self._cluster._read_candidates(self.region, consistency))
+
+    def count(
+        self,
+        model_name: str,
+        query: Query | None = None,
+        consistency: str = READ_LOCAL,
+    ) -> int:
+        request = RpcRequest(
+            service="read",
+            method="count",
+            args={"model": model_name, "query": query.to_wire() if query else None},
+        )
+        return self._call(request, self._cluster._read_candidates(self.region, consistency))
+
+    # -- writes (forwarded to the master region) ------------------------------
+
+    def create_objects(self, specs: list[tuple[str, dict[str, Any]]]) -> list[int]:
+        request = RpcRequest(
+            service="write",
+            method="create_objects",
+            args={"specs": [[name, values] for name, values in specs]},
+        )
+        return self._call(request, self._cluster._write_candidates(), write=True)
+
+    def update_objects(self, updates: list[tuple[str, int, dict[str, Any]]]) -> int:
+        request = RpcRequest(
+            service="write",
+            method="update_objects",
+            args={"updates": [[m, i, v] for m, i, v in updates]},
+        )
+        return self._call(request, self._cluster._write_candidates(), write=True)
+
+    def delete_objects(self, targets: list[tuple[str, int]]) -> int:
+        request = RpcRequest(
+            service="write",
+            method="delete_objects",
+            args={"targets": [[m, i] for m, i in targets]},
+        )
+        return self._call(request, self._cluster._write_candidates(), write=True)
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _call(
+        self,
+        request: RpcRequest,
+        candidates: list[ServiceReplica],
+        write: bool = False,
+    ) -> Any:
+        if not candidates:
+            kind = "master write" if write else "read"
+            raise ReplicationError(f"no live {kind} service replicas")
+        wire = request.to_wire()
+        last_error: Exception | None = None
+        for replica in candidates:
+            try:
+                return RpcResponse.from_wire(replica.handle(wire)).result()
+            except RpcError as exc:
+                last_error = exc
+                if "is down" in str(exc):
+                    continue  # redirect to the next replica
+                raise
+        raise ReplicationError(f"all service replicas failed: {last_error}")

@@ -1,0 +1,234 @@
+"""The Thrift-like service layer over FBNet (paper section 4.3.2).
+
+Both read and write APIs are exposed as language-independent RPCs.  The
+wire format here is a typed, length-prefixed JSON encoding — structurally
+equivalent to Thrift's role in the paper: clients marshal a request,
+service replicas unmarshal it, execute against their local store through
+the ORM-style APIs, and marshal the results back.
+
+Failure semantics match section 4.3.3: a replica whose process has
+"crashed" refuses requests, and the routing layer (in
+:mod:`repro.fbnet.replication`) redirects to surviving replicas in the
+same region, then to the nearest neighboring region.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import RpcError
+from repro.fbnet.api import ReadApi, WriteApi
+from repro.fbnet.query import Query
+from repro.fbnet.store import ObjectStore
+
+__all__ = [
+    "ReadService",
+    "RpcRequest",
+    "RpcResponse",
+    "ServiceReplica",
+    "WriteService",
+    "decode_message",
+    "encode_message",
+]
+
+_WIRE_VERSION = 1
+
+
+def encode_message(payload: dict[str, Any]) -> bytes:
+    """Marshal ``payload`` to the wire: a version byte + length + JSON body."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+    header = _WIRE_VERSION.to_bytes(1, "big") + len(body).to_bytes(4, "big")
+    return header + body
+
+
+def decode_message(wire: bytes) -> dict[str, Any]:
+    """Unmarshal a message produced by :func:`encode_message`."""
+    if len(wire) < 5:
+        raise RpcError("truncated RPC message header")
+    version = wire[0]
+    if version != _WIRE_VERSION:
+        raise RpcError(f"unsupported RPC wire version {version}")
+    length = int.from_bytes(wire[1:5], "big")
+    body = wire[5 : 5 + length]
+    if len(body) != length:
+        raise RpcError(f"truncated RPC body: expected {length}, got {len(body)}")
+    try:
+        payload = json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RpcError(f"malformed RPC body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise RpcError("RPC body must be an object")
+    return payload
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    """A marshalled call: which service, which method, what arguments."""
+
+    service: str  # "read" or "write"
+    method: str
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> bytes:
+        return encode_message(
+            {"service": self.service, "method": self.method, "args": self.args}
+        )
+
+    @staticmethod
+    def from_wire(wire: bytes) -> RpcRequest:
+        payload = decode_message(wire)
+        try:
+            return RpcRequest(
+                service=payload["service"],
+                method=payload["method"],
+                args=payload.get("args", {}),
+            )
+        except KeyError as exc:
+            raise RpcError(f"request missing key {exc}") from None
+
+
+@dataclass(frozen=True)
+class RpcResponse:
+    """A marshalled result or error."""
+
+    ok: bool
+    payload: Any = None
+    error: str = ""
+
+    def to_wire(self) -> bytes:
+        return encode_message(
+            {"ok": self.ok, "payload": self.payload, "error": self.error}
+        )
+
+    @staticmethod
+    def from_wire(wire: bytes) -> RpcResponse:
+        data = decode_message(wire)
+        return RpcResponse(
+            ok=bool(data.get("ok")),
+            payload=data.get("payload"),
+            error=data.get("error", ""),
+        )
+
+    def result(self) -> Any:
+        """Return the payload, raising :class:`RpcError` on failure."""
+        if not self.ok:
+            raise RpcError(self.error or "RPC failed")
+        return self.payload
+
+
+class ReadService:
+    """Dispatches read-API RPC methods against a store."""
+
+    def __init__(self, store: ObjectStore):
+        self._api = ReadApi(store)
+
+    def dispatch(self, method: str, args: dict[str, Any]) -> Any:
+        if method == "get":
+            return self._api.get(
+                args["model"],
+                args.get("fields"),
+                Query.from_wire(args.get("query")),
+            )
+        if method == "count":
+            return self._api.count(args["model"], Query.from_wire(args.get("query")))
+        if method == "schema":
+            return self._api.schema()
+        raise RpcError(f"read service has no method {method!r}")
+
+
+class WriteService:
+    """Dispatches write-API RPC methods against a store."""
+
+    def __init__(self, store: ObjectStore):
+        self._api = WriteApi(store)
+
+    def dispatch(self, method: str, args: dict[str, Any]) -> Any:
+        if method == "create_objects":
+            specs = [
+                (model_name, self._revive_refs(values))
+                for model_name, values in args["specs"]
+            ]
+            return self._api.create_objects(specs)
+        if method == "update_objects":
+            updates = [
+                (model_name, obj_id, values)
+                for model_name, obj_id, values in args["updates"]
+            ]
+            return self._api.update_objects(updates)
+        if method == "delete_objects":
+            targets = [(model_name, obj_id) for model_name, obj_id in args["targets"]]
+            return self._api.delete_objects(targets)
+        raise RpcError(f"write service has no method {method!r}")
+
+    @staticmethod
+    def _revive_refs(values: dict[str, Any]) -> dict[str, Any]:
+        # JSON turns the ("$ref", i) tuples into lists; restore them.
+        revived: dict[str, Any] = {}
+        for key, value in values.items():
+            if (
+                isinstance(value, list)
+                and len(value) == 2
+                and value[0] == "$ref"
+                and isinstance(value[1], int)
+            ):
+                revived[key] = ("$ref", value[1])
+            else:
+                revived[key] = value
+        return revived
+
+
+class ServiceReplica:
+    """One deployed read or write API service replica.
+
+    Replicas are deployed per region, fronting that region's database
+    (paper section 4.3.3).  A crashed replica refuses requests; the
+    router redirects.
+    """
+
+    def __init__(self, name: str, region: str, kind: str, store: ObjectStore):
+        if kind not in ("read", "write"):
+            raise ValueError(f"replica kind must be 'read' or 'write', not {kind!r}")
+        self.name = name
+        self.region = region
+        self.kind = kind
+        self.healthy = True
+        self._store = store
+        self._service: ReadService | WriteService = (
+            ReadService(store) if kind == "read" else WriteService(store)
+        )
+        #: Requests served, for test/bench introspection.
+        self.served = 0
+
+    def retarget(self, store: ObjectStore) -> None:
+        """Point this replica at a different database (after failover)."""
+        self._store = store
+        self._service = (
+            ReadService(store) if self.kind == "read" else WriteService(store)
+        )
+
+    def crash(self) -> None:
+        self.healthy = False
+
+    def recover(self) -> None:
+        self.healthy = True
+
+    def handle(self, wire_request: bytes) -> bytes:
+        """Serve one marshalled request, returning a marshalled response."""
+        if not self.healthy:
+            raise RpcError(f"replica {self.name} is down")
+        request = RpcRequest.from_wire(wire_request)
+        if request.service != self.kind:
+            raise RpcError(
+                f"replica {self.name} is a {self.kind} service, "
+                f"got a {request.service} request"
+            )
+        self.served += 1
+        try:
+            payload = self._service.dispatch(request.method, request.args)
+        except RpcError:
+            raise
+        except Exception as exc:  # surfaced to the caller, not swallowed
+            return RpcResponse(ok=False, error=f"{type(exc).__name__}: {exc}").to_wire()
+        return RpcResponse(ok=True, payload=payload).to_wire()

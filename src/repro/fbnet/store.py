@@ -1,0 +1,684 @@
+"""The FBNet persistent object store (paper section 4.3.1).
+
+The paper implements FBNet on MySQL behind the Django ORM; this reproduction
+provides an in-process relational store with the same observable semantics:
+
+* one *table* per concrete model, rows keyed by an integer primary key;
+* foreign-key integrity, unique and unique-together constraints;
+* atomic multi-object transactions — no partial state is visible and a
+  failed transaction rolls back completely (section 4.3.2);
+* a change journal recording every create/update/delete, which powers both
+  the replication layer (section 4.3.3) and the design-change accounting
+  behind the paper's Figure 15.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, TypeVar
+
+from repro.common.errors import (
+    IntegrityError,
+    ObjectDoesNotExist,
+    TransactionError,
+)
+from repro.fbnet.base import Model, model_registry
+from repro.fbnet.fields import ForeignKey, OnDelete
+from repro.fbnet.query import Query, ensure_query
+
+__all__ = ["ChangeOp", "ChangeRecord", "ObjectStore"]
+
+M = TypeVar("M", bound=Model)
+
+
+class ChangeOp(Enum):
+    """The kind of mutation a journal entry records."""
+
+    CREATE = "create"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One committed mutation, as seen by replication and accounting."""
+
+    txn_id: int
+    op: ChangeOp
+    model: str
+    obj_id: int
+    #: Field values after the change (for CREATE/UPDATE) or before (DELETE).
+    values: dict[str, Any] = field(repr=False, default_factory=dict)
+    #: Names of the fields whose values changed (UPDATE only).
+    changed_fields: tuple[str, ...] = ()
+
+
+@dataclass
+class _UndoEntry:
+    op: ChangeOp
+    model: type[Model]
+    obj_id: int
+    old_values: dict[str, Any] | None  # None for CREATE
+
+
+class ObjectStore:
+    """An in-process FBNet object store.
+
+    The store is synchronous and single-writer, matching the paper's setup
+    of a single master database; concurrency across regions is modeled by
+    :mod:`repro.fbnet.replication` on top of the journal this store emits.
+    """
+
+    def __init__(self, name: str = "fbnet"):
+        self.name = name
+        self._tables: dict[str, dict[int, Model]] = {}
+        # (source model name, fk field) -> target id -> set of source ids
+        self._reverse_index: dict[tuple[str, str], dict[int, set[int]]] = {}
+        # Shadow copy of each stored object's last-committed field values,
+        # used to compute changed-field sets and maintain the reverse index.
+        self._known_values: dict[tuple[str, int], dict[str, Any]] = {}
+        # Unique indexes: (family root, field) -> value -> object id, and
+        # (model, field group) -> value tuple -> object id.  Kept in sync
+        # by _index/_unindex so constraint checks stay O(1).
+        self._unique_index: dict[tuple[str, str], dict[Any, int]] = {}
+        self._unique_together_index: dict[tuple[str, tuple[str, ...]], dict[tuple, int]] = {}
+        self._next_id = 1
+        self._txn_counter = itertools.count(1)
+        self._journal: list[ChangeRecord] = []
+        self._commit_listeners: list[Callable[[list[ChangeRecord]], None]] = []
+
+        # Transaction state.
+        self._txn_depth = 0
+        self._undo_log: list[_UndoEntry] = []
+        self._pending_records: list[ChangeRecord] = []
+        self._current_txn_id: int | None = None
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[int]:
+        """Run a block atomically; on exception everything is rolled back.
+
+        Nested transactions join the outermost one (savepoints are not
+        needed by any Robotron workflow).  Yields the transaction id.
+        """
+        if self._txn_depth == 0:
+            self._current_txn_id = next(self._txn_counter)
+            self._undo_log = []
+            self._pending_records = []
+        self._txn_depth += 1
+        txn_id = self._current_txn_id
+        assert txn_id is not None
+        try:
+            yield txn_id
+        except Exception:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self._rollback()
+            raise
+        else:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self._commit()
+
+    def _commit(self) -> None:
+        records = self._pending_records
+        self._pending_records = []
+        self._undo_log = []
+        self._current_txn_id = None
+        self._journal.extend(records)
+        for listener in self._commit_listeners:
+            listener(records)
+
+    def _rollback(self) -> None:
+        for entry in reversed(self._undo_log):
+            table = self._tables.setdefault(entry.model.__name__, {})
+            if entry.op is ChangeOp.CREATE:
+                obj = table.pop(entry.obj_id, None)
+                if obj is not None:
+                    self._unindex(obj)
+                    obj.id = None
+                    obj._store = None
+            elif entry.op is ChangeOp.UPDATE:
+                obj = table[entry.obj_id]
+                self._unindex(obj)
+                assert entry.old_values is not None
+                obj.__dict__.update(entry.old_values)
+                self._index(obj)
+            else:  # DELETE
+                assert entry.old_values is not None
+                obj = entry.model.__new__(entry.model)
+                obj.__dict__.update(entry.old_values)
+                obj.id = entry.obj_id
+                obj._store = self
+                table[entry.obj_id] = obj
+                self._index(obj)
+        self._undo_log = []
+        self._pending_records = []
+        self._current_txn_id = None
+
+    def _in_txn(self) -> bool:
+        return self._txn_depth > 0
+
+    @contextmanager
+    def _implicit_txn(self) -> Iterator[None]:
+        if self._in_txn():
+            yield
+        else:
+            with self.transaction():
+                yield
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def save(self, obj: M) -> M:
+        """Insert a new object or persist updates to an existing one."""
+        if obj._store is not None and obj._store is not self:
+            raise IntegrityError("object belongs to a different store")
+        with self._implicit_txn():
+            if obj.id is None:
+                self._insert(obj)
+            else:
+                try:
+                    self._update(obj)
+                except Exception:
+                    # The caller mutated the live stored instance before
+                    # save(); a failed update must not leave that dirty
+                    # state visible — restore the last committed values.
+                    known = self._last_known_values(obj)
+                    if known is not None:
+                        obj.__dict__.update(known)
+                    raise
+        return obj
+
+    def create(self, model: type[M], **field_values: Any) -> M:
+        """Construct and insert an object in one step."""
+        obj = model(**field_values)
+        return self.save(obj)
+
+    def update(self, obj: M, **field_values: Any) -> M:
+        """Assign ``field_values`` onto ``obj`` and persist them."""
+        for name, value in field_values.items():
+            if name not in type(obj)._meta.fields:
+                raise IntegrityError(
+                    f"{type(obj).__name__} has no field {name!r}"
+                )
+            setattr(obj, name, value)
+        return self.save(obj)
+
+    def delete(self, obj: Model) -> None:
+        """Delete ``obj``, honouring referrers' ``on_delete`` policies.
+
+        ``CASCADE`` referrers are deleted recursively, ``SET_NULL``
+        referrers have their relationship field cleared, and ``PROTECT``
+        referrers abort the whole transaction.
+        """
+        if obj.id is None or obj._store is not self:
+            raise ObjectDoesNotExist(f"{obj!r} is not stored here")
+        with self._implicit_txn():
+            self._delete_inner(obj, seen=set())
+
+    def _delete_inner(self, obj: Model, seen: set[tuple[str, int]]) -> None:
+        key = (type(obj).__name__, obj.id)
+        if key in seen:
+            return
+        seen.add(key)
+        assert obj.id is not None
+        for related_name, (source_model, fk_name) in model_registry.reverse_relations(
+            type(obj)
+        ).items():
+            referrers = self.referrers(obj, source_model, fk_name)
+            if not referrers:
+                continue
+            fk = source_model._meta.fk_fields[fk_name]
+            if fk.on_delete is OnDelete.PROTECT:
+                raise IntegrityError(
+                    f"cannot delete {obj!r}: protected by "
+                    f"{len(referrers)} {source_model.__name__}.{fk_name} referrer(s)"
+                )
+            for referrer in referrers:
+                if fk.on_delete is OnDelete.CASCADE:
+                    self._delete_inner(referrer, seen)
+                else:  # SET_NULL
+                    referrer.__dict__[fk_name] = None
+                    self._update(referrer)
+        self._remove_row(obj)
+
+    def _remove_row(self, obj: Model) -> None:
+        table = self._tables.get(type(obj).__name__, {})
+        assert obj.id is not None
+        if obj.id not in table:
+            return  # already deleted within this cascade
+        old_values = dict(obj.__dict__)
+        old_values.pop("_store", None)
+        old_id = obj.id
+        self._unindex(obj)
+        del table[old_id]
+        self._undo_log.append(
+            _UndoEntry(ChangeOp.DELETE, type(obj), old_id, old_values)
+        )
+        self._record(ChangeOp.DELETE, obj, old_id, obj.clone_values(), ())
+        obj.id = None
+        obj._store = None
+
+    def _alloc_id(self) -> int:
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    def _insert(self, obj: Model) -> None:
+        self._check_fks(obj)
+        self._check_unique(obj, exclude_id=None)
+        obj.id = self._alloc_id()
+        obj._store = self
+        self._tables.setdefault(type(obj).__name__, {})[obj.id] = obj
+        self._index(obj)
+        self._undo_log.append(_UndoEntry(ChangeOp.CREATE, type(obj), obj.id, None))
+        self._record(ChangeOp.CREATE, obj, obj.id, obj.clone_values(), ())
+
+    def _update(self, obj: Model) -> None:
+        table = self._tables.get(type(obj).__name__, {})
+        assert obj.id is not None
+        stored = table.get(obj.id)
+        if stored is None:
+            raise ObjectDoesNotExist(
+                f"{type(obj).__name__} id={obj.id} is not in the store"
+            )
+        if stored is not obj:
+            raise IntegrityError(
+                f"stale object: {type(obj).__name__} id={obj.id} differs from "
+                "the stored instance"
+            )
+        self._check_fks(obj)
+        self._check_unique(obj, exclude_id=obj.id)
+        # Reconstruct the pre-change values from the last journal state is
+        # not possible (we mutate in place), so journal undo snapshots the
+        # *current* dict before the caller's changes were applied -- callers
+        # mutate fields first, so we diff against the index instead.
+        old_values = self._last_known_values(obj)
+        changed = tuple(
+            name
+            for name in type(obj)._meta.fields
+            if old_values is not None and old_values.get(name) != obj.__dict__.get(name)
+        )
+        self._unindex_values(obj, old_values)
+        self._index(obj)
+        undo_values = dict(old_values) if old_values is not None else dict(obj.__dict__)
+        undo_values.pop("_store", None)
+        self._undo_log.append(
+            _UndoEntry(ChangeOp.UPDATE, type(obj), obj.id, undo_values)
+        )
+        self._record(ChangeOp.UPDATE, obj, obj.id, obj.clone_values(), changed)
+        self._known_values[(type(obj).__name__, obj.id)] = {
+            name: obj.__dict__.get(name) for name in type(obj)._meta.fields
+        }
+
+    # -- value shadow (for computing changed fields + index maintenance) ----
+
+    def _last_known_values(self, obj: Model) -> dict[str, Any] | None:
+        assert obj.id is not None
+        return self._known_values.get((type(obj).__name__, obj.id))
+
+    # ------------------------------------------------------------------
+    # Constraint checks
+    # ------------------------------------------------------------------
+
+    def _check_fks(self, obj: Model) -> None:
+        for name, fk in type(obj)._meta.fk_fields.items():
+            raw = obj.__dict__.get(name)
+            if raw is None:
+                continue
+            if self._resolve(fk.to, raw) is None:
+                raise IntegrityError(
+                    f"{type(obj).__name__}.{name}: no {fk.to.__name__} with id {raw}"
+                )
+
+    def _check_unique(self, obj: Model, exclude_id: int | None) -> None:
+        meta = type(obj)._meta
+        root = self._family_root(type(obj))
+        for name, fld in meta.fields.items():
+            if not fld.unique:
+                continue
+            value = obj.__dict__.get(name)
+            if value is None:
+                continue
+            holder = self._unique_index.get((root, name), {}).get(self._hashable(value))
+            if holder is not None and holder != exclude_id:
+                raise IntegrityError(
+                    f"{type(obj).__name__}.{name}={value!r} violates unique "
+                    f"constraint (held by {self._describe_holder(root, holder)})"
+                )
+        for group in meta.unique_together:
+            values = tuple(self._hashable(obj.__dict__.get(n)) for n in group)
+            if any(v is None for v in values):
+                continue
+            holder = self._unique_together_index.get(
+                (type(obj).__name__, group), {}
+            ).get(values)
+            if holder is not None and holder != exclude_id:
+                raise IntegrityError(
+                    f"{type(obj).__name__}{group} = {values!r} violates "
+                    "unique_together"
+                )
+
+    def _describe_holder(self, root: str, obj_id: int) -> str:
+        for concrete in model_registry.all():
+            if self._family_root(concrete) == root:
+                obj = self._tables.get(concrete.__name__, {}).get(obj_id)
+                if obj is not None:
+                    return repr(obj)
+        return f"id={obj_id}"
+
+    @staticmethod
+    def _hashable(value: Any) -> Any:
+        if isinstance(value, Enum):
+            return value.value
+        if isinstance(value, (list, dict, set)):
+            return repr(value)
+        return value
+
+    @staticmethod
+    def _family_root(model: type[Model]) -> str:
+        """The topmost abstract ancestor's name (unique-constraint scope).
+
+        Unique fields are enforced across the inheritance family so that
+        e.g. two device subclasses cannot share a device name.
+        """
+        root = model
+        for klass in model.__mro__[1:]:
+            meta = getattr(klass, "_meta", None)
+            if meta is not None and getattr(meta, "abstract", False) and klass is not Model:
+                root = klass
+        return root.__name__
+
+    # ------------------------------------------------------------------
+    # Reverse index
+    # ------------------------------------------------------------------
+
+    def _index(self, obj: Model) -> None:
+        assert obj.id is not None
+        meta = type(obj)._meta
+        for name, fk in meta.fk_fields.items():
+            raw = obj.__dict__.get(name)
+            if raw is None:
+                continue
+            key = (type(obj).__name__, name)
+            self._reverse_index.setdefault(key, {}).setdefault(raw, set()).add(obj.id)
+        root = self._family_root(type(obj))
+        for name, fld in meta.fields.items():
+            if not fld.unique:
+                continue
+            value = obj.__dict__.get(name)
+            if value is not None:
+                self._unique_index.setdefault((root, name), {})[
+                    self._hashable(value)
+                ] = obj.id
+        for group in meta.unique_together:
+            values = tuple(self._hashable(obj.__dict__.get(n)) for n in group)
+            if not any(v is None for v in values):
+                self._unique_together_index.setdefault(
+                    (type(obj).__name__, group), {}
+                )[values] = obj.id
+        self._known_values[(type(obj).__name__, obj.id)] = {
+            name: obj.__dict__.get(name) for name in meta.fields
+        }
+
+    def _unindex(self, obj: Model) -> None:
+        self._unindex_values(obj, self._last_known_values(obj))
+        if obj.id is not None:
+            self._known_values.pop((type(obj).__name__, obj.id), None)
+
+    def _unindex_values(self, obj: Model, values: dict[str, Any] | None) -> None:
+        if values is None or obj.id is None:
+            return
+        meta = type(obj)._meta
+        for name in meta.fk_fields:
+            raw = values.get(name)
+            if raw is None:
+                continue
+            bucket = self._reverse_index.get((type(obj).__name__, name), {}).get(raw)
+            if bucket is not None:
+                bucket.discard(obj.id)
+        root = self._family_root(type(obj))
+        for name, fld in meta.fields.items():
+            if not fld.unique:
+                continue
+            value = values.get(name)
+            if value is None:
+                continue
+            bucket = self._unique_index.get((root, name))
+            if bucket is not None and bucket.get(self._hashable(value)) == obj.id:
+                del bucket[self._hashable(value)]
+        for group in meta.unique_together:
+            tuple_key = tuple(self._hashable(values.get(n)) for n in group)
+            bucket = self._unique_together_index.get((type(obj).__name__, group))
+            if bucket is not None and bucket.get(tuple_key) == obj.id:
+                del bucket[tuple_key]
+
+    def referrers(
+        self, obj: Model, source_model: type[Model], fk_name: str
+    ) -> list[Model]:
+        """Objects of ``source_model`` whose ``fk_name`` points at ``obj``."""
+        assert obj.id is not None
+        ids = self._reverse_index.get((source_model.__name__, fk_name), {}).get(
+            obj.id, set()
+        )
+        table = self._tables.get(source_model.__name__, {})
+        return sorted(
+            (table[i] for i in ids if i in table), key=lambda o: o.id or 0
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, model: type[M], obj_id: int) -> M:
+        """Fetch one object by id (searching subclass tables too)."""
+        found = self._resolve(model, obj_id)
+        if found is None:
+            raise ObjectDoesNotExist(f"no {model.__name__} with id {obj_id}")
+        return found
+
+    def _resolve(self, model: type[M], obj_id: int) -> M | None:
+        obj = self._tables.get(model.__name__, {}).get(obj_id)
+        if obj is not None:
+            return obj  # type: ignore[return-value]
+        for concrete in model_registry.all():
+            if concrete is not model and issubclass(concrete, model):
+                obj = self._tables.get(concrete.__name__, {}).get(obj_id)
+                if obj is not None:
+                    return obj  # type: ignore[return-value]
+        return None
+
+    def all(self, model: type[M]) -> list[M]:
+        """All objects of ``model``, including subclasses, ordered by id."""
+        rows: list[M] = []
+        for concrete in model_registry.all():
+            if issubclass(concrete, model):
+                rows.extend(self._tables.get(concrete.__name__, {}).values())  # type: ignore[arg-type]
+        return sorted(rows, key=lambda o: o.id or 0)
+
+    def filter(self, model: type[M], query: Query | None = None) -> list[M]:
+        """Objects of ``model`` matching ``query`` (all if ``None``)."""
+        ensure_query(query)
+        if query is None:
+            return self.all(model)
+        fast = self._indexed_filter(model, query)
+        if fast is not None:
+            return fast
+        return [obj for obj in self.all(model) if query.matches(obj)]
+
+    def _indexed_filter(self, model: type[M], query: Query) -> list[M] | None:
+        """Serve single-FK equality queries from the reverse index.
+
+        ``filter(PhysicalInterface, Expr("agg_interface", ==, 7))`` is the
+        store's hottest query shape; answering it from the reverse index
+        keeps bulk materialization linear.
+        """
+        from repro.fbnet.query import Expr, Op
+
+        if not isinstance(query, Expr) or query.op is not Op.EQUAL:
+            return None
+        if "." in query.field:
+            return None
+        rows: list[M] = []
+        served = False
+        fk_values_ok = all(isinstance(rv, int) for rv in query.rvalues)
+        for concrete in model_registry.all():
+            if not issubclass(concrete, model):
+                continue
+            field = concrete._meta.fields.get(query.field)
+            if field is None:
+                continue
+            fk = concrete._meta.fk_fields.get(query.field)
+            if fk is not None:
+                if not fk_values_ok:
+                    return None
+                served = True
+                table = self._tables.get(concrete.__name__, {})
+                buckets = self._reverse_index.get(
+                    (concrete.__name__, query.field), {}
+                )
+                for rvalue in query.rvalues:
+                    for obj_id in buckets.get(rvalue, ()):
+                        obj = table.get(obj_id)
+                        if obj is not None:
+                            rows.append(obj)  # type: ignore[arg-type]
+            elif field.unique:
+                served = True
+                root = self._family_root(concrete)
+                bucket = self._unique_index.get((root, query.field), {})
+                for rvalue in query.rvalues:
+                    obj_id = bucket.get(self._hashable(rvalue))
+                    if obj_id is None:
+                        continue
+                    obj = self._tables.get(concrete.__name__, {}).get(obj_id)
+                    if obj is not None:
+                        rows.append(obj)  # type: ignore[arg-type]
+            else:
+                # A plain value field needs a full scan.
+                return None
+        if not served:
+            return None
+        return sorted(set(rows), key=lambda o: o.id or 0)
+
+    def count(self, model: type[M], query: Query | None = None) -> int:
+        return len(self.filter(model, query))
+
+    def exists(self, model: type[M], query: Query | None = None) -> bool:
+        ensure_query(query)
+        if query is not None:
+            fast = self._indexed_filter(model, query)
+            if fast is not None:
+                return bool(fast)
+        for obj in self.all(model):
+            if query is None or query.matches(obj):
+                return True
+        return False
+
+    def first(self, model: type[M], query: Query | None = None) -> M | None:
+        ensure_query(query)
+        if query is not None:
+            fast = self._indexed_filter(model, query)
+            if fast is not None:
+                return fast[0] if fast else None
+        for obj in self.all(model):
+            if query is None or query.matches(obj):
+                return obj
+        return None
+
+    # ------------------------------------------------------------------
+    # Journal / replication hooks
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        op: ChangeOp,
+        obj: Model,
+        obj_id: int,
+        values: dict[str, Any],
+        changed: tuple[str, ...],
+    ) -> None:
+        assert self._current_txn_id is not None
+        self._pending_records.append(
+            ChangeRecord(
+                txn_id=self._current_txn_id,
+                op=op,
+                model=type(obj).__name__,
+                obj_id=obj_id,
+                values=values,
+                changed_fields=changed,
+            )
+        )
+
+    @property
+    def journal(self) -> list[ChangeRecord]:
+        """The committed change journal (read-only view)."""
+        return list(self._journal)
+
+    def journal_since(self, position: int) -> list[ChangeRecord]:
+        return self._journal[position:]
+
+    @property
+    def journal_position(self) -> int:
+        return len(self._journal)
+
+    def add_commit_listener(self, fn: Callable[[list[ChangeRecord]], None]) -> None:
+        """Register ``fn`` to receive each committed transaction's records."""
+        self._commit_listeners.append(fn)
+
+    def apply_record(self, record: ChangeRecord) -> None:
+        """Apply a journal record from another store (replication receive).
+
+        Object ids are preserved so that replicas remain id-compatible with
+        the master.
+        """
+        model = model_registry.get(record.model)
+        table = self._tables.setdefault(record.model, {})
+        if record.op is ChangeOp.CREATE:
+            obj = model.__new__(model)
+            obj.__dict__.update(record.values)
+            obj.id = record.obj_id
+            obj._store = self
+            table[record.obj_id] = obj
+            self._index(obj)
+            # Keep local id allocation ahead of replicated ids so a promoted
+            # replica never reuses a master-assigned id.
+            self._next_id = max(self._next_id, record.obj_id + 1)
+        elif record.op is ChangeOp.UPDATE:
+            obj = table.get(record.obj_id)
+            if obj is None:
+                raise TransactionError(
+                    f"replication update for missing {record.model} id={record.obj_id}"
+                )
+            self._unindex(obj)
+            obj.__dict__.update(record.values)
+            self._index(obj)
+        else:  # DELETE
+            obj = table.pop(record.obj_id, None)
+            if obj is not None:
+                self._unindex(obj)
+                obj.id = None
+                obj._store = None
+        self._journal.append(record)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def table_sizes(self) -> dict[str, int]:
+        """Row count per concrete model (only non-empty tables)."""
+        return {name: len(rows) for name, rows in self._tables.items() if rows}
+
+    def total_objects(self) -> int:
+        return sum(len(rows) for rows in self._tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ObjectStore {self.name!r} objects={self.total_objects()}>"

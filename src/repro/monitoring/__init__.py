@@ -1,0 +1,45 @@
+"""Monitoring: passive, active, and config monitoring (paper section 5.4).
+
+* :mod:`repro.monitoring.syslog` — the passive pipeline: devices send
+  syslog to a BGP-anycast collector address; classifiers match regex rules
+  maintained by network engineers (section 5.4.1, Table 3);
+* :mod:`repro.monitoring.jobs` + :mod:`repro.monitoring.engines` +
+  :mod:`repro.monitoring.backends` — the active pipeline's three tiers:
+  the Job Manager schedules periodic/ad-hoc jobs, Engines poll devices
+  over SNMP/CLI/XML-RPC/Thrift, Backends convert and store collected data
+  (section 5.4.2, Figure 11, Table 2);
+* :mod:`repro.monitoring.confmon` — config monitoring: a running-config
+  change triggers collection, a diff against the Robotron-generated
+  golden config, alerting, and backup (section 5.4.3);
+* :mod:`repro.monitoring.audit` — Desired-vs-Derived anomaly detection
+  (section 4.1.2).
+"""
+
+from repro.monitoring.alerts import MetricAlertRule, MetricMonitor
+from repro.monitoring.audit import AuditReport, run_audit
+from repro.monitoring.backends import (
+    ConfigBackupBackend,
+    DerivedModelBackend,
+    TimeSeriesBackend,
+)
+from repro.monitoring.classifier import Classifier, SyslogRule, default_rule_table
+from repro.monitoring.confmon import ConfigMonitor
+from repro.monitoring.jobs import JobManager, JobSpec
+from repro.monitoring.syslog import SyslogCollector
+
+__all__ = [
+    "AuditReport",
+    "Classifier",
+    "ConfigBackupBackend",
+    "ConfigMonitor",
+    "DerivedModelBackend",
+    "JobManager",
+    "JobSpec",
+    "MetricAlertRule",
+    "MetricMonitor",
+    "SyslogCollector",
+    "SyslogRule",
+    "TimeSeriesBackend",
+    "default_rule_table",
+    "run_audit",
+]

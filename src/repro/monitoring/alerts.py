@@ -1,0 +1,124 @@
+"""Metric-based alerting over the time-series backend (paper 5.3.2/5.4.2).
+
+Phased deployments "monitor metrics to track the progress of each phase
+and only continue deployment if the previous phase is successful"; the
+section-8 peering incident was likewise "discovered, via monitoring" when
+an egress link saturated.  This module evaluates threshold rules over the
+:class:`~repro.monitoring.backends.TimeSeriesBackend` and exposes a
+health-check factory the deployer's phased mode plugs into directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.monitoring.backends import TimeSeriesBackend
+
+__all__ = ["MetricAlert", "MetricAlertRule", "MetricMonitor"]
+
+_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda value, limit: value > limit,
+    ">=": lambda value, limit: value >= limit,
+    "<": lambda value, limit: value < limit,
+    "<=": lambda value, limit: value <= limit,
+}
+
+
+@dataclass(frozen=True)
+class MetricAlertRule:
+    """One threshold rule: fire when ``metric <op> threshold``."""
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparator {self.op!r}")
+
+    def breached(self, value: float) -> bool:
+        return _COMPARATORS[self.op](value, self.threshold)
+
+
+@dataclass(frozen=True)
+class MetricAlert:
+    """A fired threshold rule."""
+
+    rule: str
+    device: str
+    metric: str
+    value: float
+    threshold: float
+    at: float
+
+
+class MetricMonitor:
+    """Evaluates threshold rules against collected metrics."""
+
+    #: Rules matching the health conditions the paper's examples gate on.
+    DEFAULT_RULES = (
+        MetricAlertRule(
+            "cpu-high", "cpu", ">", 0.90,
+            "device CPU saturated (monitoring jobs are throttled, 6.4)",
+        ),
+        MetricAlertRule(
+            "memory-high", "memory", ">", 0.90, "device memory exhausted"
+        ),
+        MetricAlertRule(
+            "interfaces-down", "interfaces_up", "<", 1.0,
+            "device has no operational interfaces",
+        ),
+    )
+
+    def __init__(
+        self,
+        tsdb: TimeSeriesBackend,
+        rules: Sequence[MetricAlertRule] = DEFAULT_RULES,
+        *,
+        notifier: Callable[[MetricAlert], None] | None = None,
+    ):
+        self._tsdb = tsdb
+        self.rules = list(rules)
+        self._notify = notifier or (lambda _alert: None)
+        self.alerts: list[MetricAlert] = []
+
+    def evaluate_device(self, device: str, at: float = 0.0) -> list[MetricAlert]:
+        """Check every rule against the device's latest samples."""
+        fired = []
+        for rule in self.rules:
+            value = self._tsdb.latest(device, rule.metric)
+            if value is None:
+                continue
+            if rule.breached(value):
+                alert = MetricAlert(
+                    rule=rule.name, device=device, metric=rule.metric,
+                    value=value, threshold=rule.threshold, at=at,
+                )
+                fired.append(alert)
+                self.alerts.append(alert)
+                self._notify(alert)
+        return fired
+
+    def healthy(self, devices: Sequence[str], at: float = 0.0) -> bool:
+        """Whether no rule fires for any of ``devices``."""
+        result = True
+        for device in devices:
+            if self.evaluate_device(device, at):
+                result = False
+        return result
+
+    def phased_health_check(self, at: float = 0.0) -> Callable[[list[str]], bool]:
+        """A health-check callable for ``Deployer.phased_deploy``.
+
+        After each phase the deployer passes the phase's device batch;
+        the check fails the rollout if any threshold rule fires on any
+        just-updated device — the paper's metric-gated phasing.
+        """
+
+        def check(batch: list[str]) -> bool:
+            return self.healthy(batch, at)
+
+        return check

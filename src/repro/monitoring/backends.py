@@ -1,0 +1,236 @@
+"""Active monitoring backends: convert and store collected data (5.4.2).
+
+The bottom tier of Figure 11.  Backends receive engine records and convert
+them for their storage location:
+
+* :class:`TimeSeriesBackend` — performance metrics (link/CPU/memory);
+* :class:`DerivedModelBackend` — populates FBNet Derived models, e.g.
+  creating a ``DerivedCircuit`` when LLDP data from two devices shows
+  their interfaces are neighbors (section 4.1.2);
+* :class:`ConfigBackupBackend` — a revision store of running configs,
+  enabling rollback to any prior device config (section 5.4.3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import Any
+
+from repro.fbnet.models import (
+    AdminStatus,
+    DerivedBgpSession,
+    DerivedCircuit,
+    DerivedDevice,
+    DerivedInterface,
+    DerivedRunningConfig,
+    OperStatus,
+)
+from repro.fbnet.query import And, Expr, Op
+from repro.fbnet.store import ObjectStore
+from repro.simulation.clock import Clock
+
+__all__ = [
+    "Backend",
+    "ConfigBackupBackend",
+    "DerivedModelBackend",
+    "TimeSeriesBackend",
+]
+
+
+class Backend:
+    """Base backend: receives one engine record."""
+
+    name = "backend"
+
+    def store(self, record: dict[str, Any], timestamp: float) -> None:
+        raise NotImplementedError
+
+
+class TimeSeriesBackend(Backend):
+    """In-memory time-series store for performance metrics."""
+
+    name = "tsdb"
+
+    def __init__(self) -> None:
+        # (device, metric) -> [(timestamp, value)]
+        self.series: dict[tuple[str, str], list[tuple[float, float]]] = defaultdict(list)
+
+    def store(self, record: dict[str, Any], timestamp: float) -> None:
+        device = record["device"]
+        payload = record["payload"]
+        if record["data_type"] == "system":
+            for metric in ("cpu", "memory", "uptime"):
+                self.series[(device, metric)].append((timestamp, payload[metric]))
+        elif record["data_type"] == "interfaces":
+            up = sum(1 for row in payload if row.get("oper_status") == "up")
+            self.series[(device, "interfaces_up")].append((timestamp, float(up)))
+
+    def latest(self, device: str, metric: str) -> float | None:
+        points = self.series.get((device, metric))
+        return points[-1][1] if points else None
+
+
+class DerivedModelBackend(Backend):
+    """Populates FBNet Derived models from collected state (section 4.1.2)."""
+
+    name = "derived"
+
+    def __init__(self, store: ObjectStore, clock: Clock):
+        self._store = store
+        self._clock = clock
+
+    def store(self, record: dict[str, Any], timestamp: float) -> None:
+        handler = getattr(self, f"_store_{record['data_type'].replace('-', '_')}", None)
+        if handler is not None:
+            handler(record["device"], record["payload"], timestamp)
+
+    # -- per-data-type converters ---------------------------------------------
+
+    def _store_system(self, device: str, payload: dict, timestamp: float) -> None:
+        existing = self._store.first(
+            DerivedDevice, Expr("name", Op.EQUAL, device)
+        )
+        values = {
+            "name": device,
+            "uptime_seconds": payload["uptime"],
+            "cpu_utilization": payload["cpu"],
+            "memory_utilization": payload["memory"],
+            "collected_at": timestamp,
+        }
+        if existing is None:
+            self._store.create(DerivedDevice, **values)
+        else:
+            self._store.update(existing, **values)
+
+    def _store_interfaces(self, device: str, payload: list, timestamp: float) -> None:
+        for row in payload:
+            existing = self._store.first(
+                DerivedInterface,
+                And(
+                    Expr("device_name", Op.EQUAL, device),
+                    Expr("name", Op.EQUAL, row["name"]),
+                ),
+            )
+            values = {
+                "device_name": device,
+                "name": row["name"],
+                "oper_status": OperStatus(row["oper_status"]),
+                "admin_status": AdminStatus(row.get("admin_status", "enabled")),
+                "collected_at": timestamp,
+            }
+            if existing is None:
+                self._store.create(DerivedInterface, **values)
+            else:
+                self._store.update(existing, **values)
+
+    def _store_lldp(self, device: str, payload: list, timestamp: float) -> None:
+        """Create DerivedCircuits when both ends report each other.
+
+        "A circuit object is created if the LLDP data from two devices
+        shows that the physical interfaces connected to both ends are
+        neighbors to each other" — we record each side's view and promote
+        to a circuit when the reverse view exists.
+        """
+        for row in payload:
+            a_dev, a_if = device, row["local_interface"]
+            z_dev, z_if = row["neighbor_device"], row["neighbor_interface"]
+            # Check whether the mirror record was already collected.
+            mirror = self._store.first(
+                DerivedCircuit,
+                And(
+                    Expr("a_device_name", Op.EQUAL, z_dev),
+                    Expr("a_interface_name", Op.EQUAL, z_if),
+                ),
+            )
+            if mirror is not None:
+                if (
+                    mirror.z_device_name == a_dev
+                    and mirror.z_interface_name == a_if
+                ):
+                    self._store.update(mirror, collected_at=timestamp)
+                    continue
+            existing = self._store.first(
+                DerivedCircuit,
+                And(
+                    Expr("a_device_name", Op.EQUAL, a_dev),
+                    Expr("a_interface_name", Op.EQUAL, a_if),
+                ),
+            )
+            values = {
+                "a_device_name": a_dev,
+                "a_interface_name": a_if,
+                "z_device_name": z_dev,
+                "z_interface_name": z_if,
+                "collected_at": timestamp,
+            }
+            if existing is None:
+                self._store.create(DerivedCircuit, **values)
+            else:
+                self._store.update(existing, **values)
+
+    def _store_bgp(self, device: str, payload: list, timestamp: float) -> None:
+        for row in payload:
+            existing = self._store.first(
+                DerivedBgpSession,
+                And(
+                    Expr("device_name", Op.EQUAL, device),
+                    Expr("peer_ip", Op.EQUAL, row["peer_ip"]),
+                ),
+            )
+            values = {
+                "device_name": device,
+                "peer_ip": row["peer_ip"],
+                "state": row["state"],
+                "collected_at": timestamp,
+            }
+            if existing is None:
+                self._store.create(DerivedBgpSession, **values)
+            else:
+                self._store.update(existing, **values)
+
+    def _store_running_config(self, device: str, payload: str, timestamp: float) -> None:
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        existing = self._store.first(
+            DerivedRunningConfig, Expr("device_name", Op.EQUAL, device)
+        )
+        values = {
+            "device_name": device,
+            "config_hash": digest,
+            "config_text": payload,
+            "collected_at": timestamp,
+        }
+        if existing is None:
+            self._store.create(DerivedRunningConfig, **values)
+        else:
+            self._store.update(existing, **values)
+
+
+class ConfigBackupBackend(Backend):
+    """Revision-controlled backups of running configs (section 5.4.3)."""
+
+    name = "config-backup"
+
+    def __init__(self) -> None:
+        # device -> [(timestamp, config text)]
+        self.revisions: dict[str, list[tuple[float, str]]] = defaultdict(list)
+
+    def store(self, record: dict[str, Any], timestamp: float) -> None:
+        if record["data_type"] != "running-config":
+            return
+        device = record["device"]
+        text = record["payload"]
+        history = self.revisions[device]
+        if history and history[-1][1] == text:
+            return  # unchanged; keep the revision history meaningful
+        history.append((timestamp, text))
+
+    def latest(self, device: str) -> str | None:
+        history = self.revisions.get(device)
+        return history[-1][1] if history else None
+
+    def revision(self, device: str, index: int) -> str:
+        return self.revisions[device][index][1]
+
+    def revision_count(self, device: str) -> int:
+        return len(self.revisions.get(device, []))

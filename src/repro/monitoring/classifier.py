@@ -1,0 +1,159 @@
+"""Syslog classification: regex rules by urgency (paper 5.4.1, Table 3).
+
+Classifiers match incoming syslog messages against a rule table
+maintained by network engineers.  A match produces an alert of the rule's
+urgency (and optionally triggers automatic remediation); messages no rule
+matches are IGNORED — the paper measured 96.27% of messages in that
+bucket over 24 hours.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fbnet.models import EventSeverity
+from repro.monitoring.syslog import SyslogMessage
+
+__all__ = ["Alert", "Classifier", "SyslogRule", "default_rule_table"]
+
+
+@dataclass(frozen=True)
+class SyslogRule:
+    """One regex rule: pattern → urgency."""
+
+    name: str
+    pattern: str
+    severity: EventSeverity
+    remediation: str = ""  # name of an automatic remediation, if any
+
+    def compiled(self) -> re.Pattern[str]:
+        return re.compile(self.pattern)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A classified event surfaced to engineers (or auto-remediated)."""
+
+    rule: str
+    severity: EventSeverity
+    device: str
+    message: str
+    timestamp: float
+
+
+class Classifier:
+    """Matches messages against the rule table, first match wins.
+
+    Rules are evaluated in severity order (CRITICAL first) so the most
+    urgent interpretation of a message prevails.
+    """
+
+    _SEVERITY_ORDER = [
+        EventSeverity.CRITICAL,
+        EventSeverity.MAJOR,
+        EventSeverity.MINOR,
+        EventSeverity.WARNING,
+        EventSeverity.NOTICE,
+    ]
+
+    def __init__(self, rules: list[SyslogRule]):
+        self._rules: list[tuple[SyslogRule, re.Pattern[str]]] = []
+        by_severity: dict[EventSeverity, list[SyslogRule]] = {}
+        for rule in rules:
+            by_severity.setdefault(rule.severity, []).append(rule)
+        for severity in self._SEVERITY_ORDER:
+            for rule in by_severity.get(severity, []):
+                self._rules.append((rule, rule.compiled()))
+        #: Classified-event counters by severity (Table 3's '# of events').
+        self.counts: Counter = Counter()
+        #: Alerts raised, newest last.
+        self.alerts: list[Alert] = []
+        self._alert_sinks: list[Callable[[Alert], None]] = []
+        self._remediations: dict[str, Callable[[Alert], None]] = {}
+
+    def rule_count(self, severity: EventSeverity) -> int:
+        """Number of rules at one urgency (Table 3's '# of rules')."""
+        return sum(1 for rule, _ in self._rules if rule.severity is severity)
+
+    def on_alert(self, sink: Callable[[Alert], None]) -> None:
+        self._alert_sinks.append(sink)
+
+    def register_remediation(self, name: str, fn: Callable[[Alert], None]) -> None:
+        """Attach an automatic remediation callable to a remediation name."""
+        self._remediations[name] = fn
+
+    def __call__(self, message: SyslogMessage) -> Alert | None:
+        """Classify one message; returns the alert, or None if ignored."""
+        line = message.render()
+        for rule, pattern in self._rules:
+            if pattern.search(line):
+                alert = Alert(
+                    rule=rule.name,
+                    severity=rule.severity,
+                    device=message.device,
+                    message=message.message,
+                    timestamp=message.timestamp,
+                )
+                self.counts[rule.severity] += 1
+                self.alerts.append(alert)
+                for sink in self._alert_sinks:
+                    sink(alert)
+                if rule.remediation and rule.remediation in self._remediations:
+                    self._remediations[rule.remediation](alert)
+                return alert
+        self.counts[EventSeverity.IGNORED] += 1
+        return None
+
+    def severity_table(self) -> dict[EventSeverity, tuple[int, float]]:
+        """(count, percentage) per urgency — the shape of Table 3."""
+        total = sum(self.counts.values()) or 1
+        return {
+            severity: (self.counts[severity], 100.0 * self.counts[severity] / total)
+            for severity in list(self._SEVERITY_ORDER) + [EventSeverity.IGNORED]
+        }
+
+
+def default_rule_table() -> list[SyslogRule]:
+    """A representative rule table, echoing the paper's Table 3 examples.
+
+    The production table had 719 rules; this default covers the examples
+    the paper names per urgency plus the config-change and link-state
+    rules the rest of the reproduction relies on.  Workload benches extend
+    it with synthetic rules to match the paper's per-urgency rule counts.
+    """
+    critical = [
+        SyslogRule("critical-power", r"Critical Power", EventSeverity.CRITICAL),
+        SyslogRule(
+            "critical-temperature", r"Critical Temperature", EventSeverity.CRITICAL
+        ),
+        SyslogRule("device-reboot", r"System restarted", EventSeverity.CRITICAL),
+        SyslogRule("ssl-vpn-alarm", r"SSL VPN Alarm", EventSeverity.CRITICAL),
+    ]
+    major = [
+        SyslogRule("high-temperature", r"High Temperature", EventSeverity.MAJOR),
+        SyslogRule("tcam-errors", r"TCAM error", EventSeverity.MAJOR),
+        SyslogRule("linecard-removed", r"Linecard removed", EventSeverity.MAJOR),
+    ]
+    minor = [
+        SyslogRule("tcam-exhausted", r"TCAM exhausted", EventSeverity.MINOR),
+        SyslogRule("bad-fpc", r"Possible bad FPC", EventSeverity.MINOR),
+        SyslogRule("ip-conflict", r"IP conflict", EventSeverity.MINOR),
+    ]
+    warning = [
+        SyslogRule("config-change", r"Configuration changed", EventSeverity.WARNING),
+        SyslogRule("ssl-conn-limit", r"SSL connection limit", EventSeverity.WARNING),
+        SyslogRule("syslog-cleared", r"Syslog cleared by user", EventSeverity.WARNING),
+        SyslogRule(
+            "link-down", r"Interface .* link state down", EventSeverity.WARNING
+        ),
+    ]
+    notice = [
+        SyslogRule("dhcp-snooping", r"DHCP Snooping Deny", EventSeverity.NOTICE),
+        SyslogRule("mac-conflict", r"MAC Conflict", EventSeverity.NOTICE),
+        SyslogRule("ntp-unreachable", r"Cannot find NTP server", EventSeverity.NOTICE),
+    ]
+    return critical + major + minor + warning + notice

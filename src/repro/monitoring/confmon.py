@@ -1,0 +1,161 @@
+"""Config monitoring: golden-config conformance (paper section 5.4.3).
+
+The passive and active pipelines combine here: a running-config change
+emits a syslog message; the collector hands it to this monitor, which
+triggers an ad-hoc active job to fetch the running config, diffs it
+against the Robotron-generated "golden" config, notifies engineers of any
+discrepancy, and backs the config up in a revision store.  The monitor
+can also restore a drifted device to its golden config — the fallback the
+paper recommends over blocking manual changes outright (section 8,
+"Automation Fallbacks").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.configgen.generator import ConfigGenerator
+from repro.deploy.diff import unified_diff
+from repro.devices.fleet import DeviceFleet
+from repro.monitoring.backends import ConfigBackupBackend
+from repro.monitoring.jobs import JobManager
+from repro.monitoring.syslog import SyslogMessage
+
+__all__ = ["ConfigDiscrepancy", "ConfigMonitor"]
+
+
+@dataclass(frozen=True)
+class ConfigDiscrepancy:
+    """A detected deviation from the golden config."""
+
+    device: str
+    diff: str
+    detected_at: float
+
+
+class ConfigMonitor:
+    """Watches for config drift against the golden configs."""
+
+    def __init__(
+        self,
+        fleet: DeviceFleet,
+        generator: ConfigGenerator,
+        job_manager: JobManager,
+        *,
+        backup: ConfigBackupBackend | None = None,
+        notifier: Callable[[ConfigDiscrepancy], None] | None = None,
+    ):
+        self._fleet = fleet
+        self._generator = generator
+        self._jobs = job_manager
+        self.backup = backup or ConfigBackupBackend()
+        self._jobs.register_backend(self.backup)
+        self._notify = notifier or (lambda _d: None)
+        #: Every discrepancy detected, newest last.
+        self.discrepancies: list[ConfigDiscrepancy] = []
+
+    # ------------------------------------------------------------------
+    # Passive trigger
+    # ------------------------------------------------------------------
+
+    def __call__(self, message: SyslogMessage) -> None:
+        """Subscribe this to the syslog collector; reacts to config changes."""
+        if message.tag != "CONFIG":
+            return
+        self.check_device(message.device)
+
+    # ------------------------------------------------------------------
+    # Active collection and comparison
+    # ------------------------------------------------------------------
+
+    def check_device(self, device_name: str) -> ConfigDiscrepancy | None:
+        """Collect the running config and compare to golden.
+
+        Triggers an ad-hoc CLI job (the paper's flow), records a backup
+        revision, and raises a discrepancy alert if the config deviates
+        from the Robotron-generated one.
+        """
+        record = self._jobs.run_adhoc(
+            "cli", "running-config", device_name, backends=(self.backup.name,)
+        )
+        if record is None:
+            return None
+        running = record["payload"]
+        golden = self._generator.golden.get(device_name)
+        if golden is None:
+            return None  # device not yet under management
+        if running == golden.text:
+            return None
+        discrepancy = ConfigDiscrepancy(
+            device=device_name,
+            diff=unified_diff(golden.text, running, device_name),
+            detected_at=self._jobs.scheduler.clock.now,
+        )
+        self.discrepancies.append(discrepancy)
+        self._notify(discrepancy)
+        return discrepancy
+
+    def check_all(self) -> list[ConfigDiscrepancy]:
+        """Sweep the whole fleet (periodic audit)."""
+        found = []
+        for name in sorted(self._fleet.devices):
+            discrepancy = self.check_device(name)
+            if discrepancy is not None:
+                found.append(discrepancy)
+        return found
+
+    # ------------------------------------------------------------------
+    # Remediation
+    # ------------------------------------------------------------------
+
+    def restore_golden(self, device_name: str) -> bool:
+        """Push the golden config back onto a drifted device."""
+        golden = self._generator.golden.get(device_name)
+        if golden is None:
+            return False
+        device = self._fleet.get(device_name)
+        device.commit(golden.text)
+        return True
+
+    def restore_revision(self, device_name: str, index: int) -> None:
+        """Roll a device back to any prior backed-up config (section 5.4.3)."""
+        text = self.backup.revision(device_name, index)
+        self._fleet.get(device_name).commit(text)
+
+    # ------------------------------------------------------------------
+    # Periodic enforcement (section 8, "Automation Fallbacks")
+    # ------------------------------------------------------------------
+
+    def enforce_periodically(
+        self, period: float, *, emergency_window: float = 1800.0
+    ):
+        """Periodically restore drifted devices to their golden configs.
+
+        The paper's proposed alternative to blocking manual changes:
+        "restore device running configs to Robotron-generated configs
+        periodically, while giving users a window for these emergency
+        operations."  A drift younger than ``emergency_window`` seconds is
+        left alone (the engineer is presumably mid-incident); older drift
+        is reverted.  Returns a canceller.
+        """
+        drift_seen_at: dict[str, float] = {}
+
+        def sweep() -> None:
+            now = self._jobs.scheduler.clock.now
+            for name in sorted(self._fleet.devices):
+                golden = self._generator.golden.get(name)
+                device = self._fleet.get(name)
+                if golden is None or not device.reachable():
+                    continue
+                if device.running_config == golden.text:
+                    drift_seen_at.pop(name, None)
+                    continue
+                first_seen = drift_seen_at.setdefault(name, now)
+                if now - first_seen >= emergency_window:
+                    self.restore_golden(name)
+                    drift_seen_at.pop(name, None)
+
+        return self._jobs.scheduler.call_every(
+            period, sweep, name="confmon-enforce"
+        )

@@ -1,0 +1,136 @@
+"""Active monitoring engines: SNMP, CLI, XML/RPC, Thrift (paper 5.4.2).
+
+The middle tier of Figure 11.  Engines pull jobs from the Job Manager and
+poll devices with their mechanism.  Capabilities differ per vendor —
+"for some vendors, the operational status of the physical links within an
+aggregated interface can only be collected by CLI commands" (section 6.4)
+— which is why a CLI engine exists at all.  Each successful device poll
+counts as one monitoring event (Table 2's unit).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import DeploymentError, MonitoringError
+from repro.devices.emulator import EmulatedDevice
+
+__all__ = [
+    "CliEngine",
+    "Engine",
+    "SnmpEngine",
+    "ThriftEngine",
+    "XmlRpcEngine",
+    "engine_for",
+]
+
+
+class Engine:
+    """Base engine: polls one data type from one device."""
+
+    #: Engine name as it appears in job specs and Table 2.
+    name = "engine"
+    #: Data types this engine can collect.
+    data_types: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        #: Successful polls (monitoring events, Table 2).
+        self.events = 0
+        #: Failed polls (unreachable device, unsupported capability).
+        self.errors = 0
+
+    def poll(self, device: EmulatedDevice, data_type: str) -> dict[str, Any]:
+        if data_type not in self.data_types:
+            raise MonitoringError(
+                f"{self.name} engine cannot collect {data_type!r}"
+            )
+        try:
+            payload = self._collect(device, data_type)
+        except MonitoringError:
+            self.errors += 1
+            raise
+        except DeploymentError as exc:
+            # An unreachable device is a failed poll, not a crash of the
+            # monitoring tier.
+            self.errors += 1
+            raise MonitoringError(str(exc)) from None
+        self.events += 1
+        return {
+            "engine": self.name,
+            "device": device.name,
+            "data_type": data_type,
+            "payload": payload,
+        }
+
+    def _collect(self, device: EmulatedDevice, data_type: str) -> Any:
+        raise NotImplementedError
+
+
+class SnmpEngine(Engine):
+    """SNMP polling: the workhorse — interface and system tables."""
+
+    name = "snmp"
+    data_types = ("interfaces", "system")
+
+    def _collect(self, device: EmulatedDevice, data_type: str) -> Any:
+        return device.snmp_get(data_type)
+
+
+class CliEngine(Engine):
+    """CLI scraping: running configs, LLDP, BGP, and LACP member status."""
+
+    name = "cli"
+    data_types = ("running-config", "lldp", "bgp", "lacp-members")
+
+    def _collect(self, device: EmulatedDevice, data_type: str) -> Any:
+        if data_type == "running-config":
+            return device.cli_show("show running-config")
+        if data_type == "lldp":
+            return device.cli_show("show lldp neighbors")
+        if data_type == "bgp":
+            return device.cli_show("show bgp summary")
+        # LACP member oper status, per aggregate (CLI-only on some vendors).
+        members = {}
+        aggregates = sorted(
+            {
+                stanza.channel_group
+                for stanza in device.parsed.interfaces.values()
+                if stanza.channel_group
+            }
+        )
+        for aggregate in aggregates:
+            members[aggregate] = device.cli_show(f"show lacp members {aggregate}")
+        return members
+
+
+class XmlRpcEngine(Engine):
+    """XML/RPC structured API (supported by vendor1 platforms)."""
+
+    name = "xmlrpc"
+    data_types = ("interfaces", "bgp", "config")
+
+    def _collect(self, device: EmulatedDevice, data_type: str) -> Any:
+        return device.xmlrpc_get(data_type)
+
+
+class ThriftEngine(Engine):
+    """Thrift structured API (supported by vendor2 platforms)."""
+
+    name = "thrift"
+    data_types = ("interfaces", "bgp", "config")
+
+    def _collect(self, device: EmulatedDevice, data_type: str) -> Any:
+        return device.thrift_get(data_type)
+
+
+def engine_for(name: str) -> Engine:
+    """Instantiate an engine by job-spec name."""
+    engines = {
+        "snmp": SnmpEngine,
+        "cli": CliEngine,
+        "xmlrpc": XmlRpcEngine,
+        "thrift": ThriftEngine,
+    }
+    if name not in engines:
+        raise MonitoringError(f"unknown engine {name!r}")
+    return engines[name]()

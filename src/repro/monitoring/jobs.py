@@ -1,0 +1,148 @@
+"""The Job Manager: the top tier of the active pipeline (paper Figure 11).
+
+The Job Manager schedules periodic monitoring jobs from a list of job
+specifications — each describing the collection period, the type of data,
+the devices, and the storage backends — and can also create ad-hoc jobs
+on demand (the config monitor uses that after a config-change syslog).
+Engines pull the work; backends receive the results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.common.errors import MonitoringError
+from repro.devices.emulator import EmulatedDevice
+from repro.devices.fleet import DeviceFleet
+from repro.monitoring.backends import Backend
+from repro.monitoring.engines import Engine, engine_for
+from repro.simulation.clock import EventScheduler
+
+__all__ = ["JobManager", "JobSpec"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One monitoring job specification (section 5.4.2).
+
+    ``device_filter`` selects which fleet devices the job polls (None =
+    all).  ``backends`` name the storage backends results go to.
+    """
+
+    name: str
+    engine: str
+    data_type: str
+    period: float
+    backends: tuple[str, ...] = ()
+    device_filter: Callable[[EmulatedDevice], bool] | None = None
+
+    def targets(self, fleet: DeviceFleet) -> list[EmulatedDevice]:
+        devices = sorted(fleet.devices.values(), key=lambda d: d.name)
+        if self.device_filter is None:
+            return devices
+        return [device for device in devices if self.device_filter(device)]
+
+
+class JobManager:
+    """Schedules periodic jobs and dispatches ad-hoc ones."""
+
+    def __init__(self, fleet: DeviceFleet, scheduler: EventScheduler | None = None):
+        self._fleet = fleet
+        self.scheduler = scheduler or fleet.scheduler
+        self._engines: dict[str, Engine] = {}
+        self._backends: dict[str, Backend] = {}
+        self._cancels: dict[str, Callable[[], None]] = {}
+        self.specs: dict[str, JobSpec] = {}
+        #: (job, device, error) triples for failed polls.
+        self.failures: list[tuple[str, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def register_backend(self, backend: Backend) -> None:
+        self._backends[backend.name] = backend
+
+    def engine(self, name: str) -> Engine:
+        """The shared engine instance for ``name`` (counters accumulate)."""
+        if name not in self._engines:
+            self._engines[name] = engine_for(name)
+        return self._engines[name]
+
+    @property
+    def engines(self) -> dict[str, Engine]:
+        return dict(self._engines)
+
+    # ------------------------------------------------------------------
+    # Periodic jobs
+    # ------------------------------------------------------------------
+
+    def add_job(self, spec: JobSpec) -> None:
+        """Register and start a periodic job."""
+        if spec.name in self.specs:
+            raise MonitoringError(f"job {spec.name!r} already registered")
+        if spec.period <= 0:
+            raise MonitoringError(f"job {spec.name!r}: period must be positive")
+        self.specs[spec.name] = spec
+        self._cancels[spec.name] = self.scheduler.call_every(
+            spec.period, lambda: self.run_job(spec), name=f"job-{spec.name}"
+        )
+
+    def remove_job(self, name: str) -> None:
+        cancel = self._cancels.pop(name, None)
+        if cancel is not None:
+            cancel()
+        self.specs.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Execution (periodic firing and ad-hoc)
+    # ------------------------------------------------------------------
+
+    def run_job(self, spec: JobSpec) -> list[dict]:
+        """Run one job over its targets now; returns collected records."""
+        engine = self.engine(spec.engine)
+        records = []
+        for device in spec.targets(self._fleet):
+            try:
+                record = engine.poll(device, spec.data_type)
+            except MonitoringError as exc:
+                self.failures.append((spec.name, device.name, str(exc)))
+                continue
+            records.append(record)
+            self._dispatch(record, spec.backends)
+        return records
+
+    def run_adhoc(
+        self,
+        engine_name: str,
+        data_type: str,
+        device_name: str,
+        backends: tuple[str, ...] = (),
+    ) -> dict | None:
+        """Create and run an ad-hoc job against one device (Figure 11)."""
+        device = self._fleet.get(device_name)
+        engine = self.engine(engine_name)
+        try:
+            record = engine.poll(device, data_type)
+        except MonitoringError as exc:
+            self.failures.append((f"adhoc-{engine_name}", device_name, str(exc)))
+            return None
+        self._dispatch(record, backends)
+        return record
+
+    def _dispatch(self, record: dict, backend_names: tuple[str, ...]) -> None:
+        timestamp = self.scheduler.clock.now
+        for name in backend_names:
+            backend = self._backends.get(name)
+            if backend is None:
+                raise MonitoringError(f"no backend named {name!r}")
+            backend.store(record, timestamp)
+
+    # ------------------------------------------------------------------
+    # Accounting (Table 2)
+    # ------------------------------------------------------------------
+
+    def event_counts(self) -> dict[str, int]:
+        """Monitoring events per active engine since start."""
+        return {name: engine.events for name, engine in self._engines.items()}

@@ -1,0 +1,63 @@
+"""The passive monitoring pipeline: syslog over anycast (paper 5.4.1).
+
+Every device is configured to send syslog to a BGP anycast address;
+multiple collectors receive from that address and hand messages to the
+classifiers.  Here the fleet's syslog bus plays the anycast address:
+a :class:`SyslogCollector` subscribes to it and feeds a
+:class:`~repro.monitoring.classifier.Classifier`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SyslogCollector", "SyslogMessage"]
+
+
+@dataclass(frozen=True)
+class SyslogMessage:
+    """A normalized syslog message (RFC 5424 in spirit)."""
+
+    device: str
+    tag: str
+    message: str
+    timestamp: float
+
+    @staticmethod
+    def from_event(event: dict[str, Any]) -> SyslogMessage:
+        return SyslogMessage(
+            device=str(event.get("device", "")),
+            tag=str(event.get("tag", "")),
+            message=str(event.get("message", "")),
+            timestamp=float(event.get("timestamp", 0.0)),
+        )
+
+    def render(self) -> str:
+        """The on-the-wire line format classifiers match against."""
+        return f"<{self.tag}> {self.device}: {self.message}"
+
+
+class SyslogCollector:
+    """One collector instance listening on the anycast address.
+
+    Fan-in point of the passive pipeline: normalizes raw device events,
+    keeps arrival counters (Table 2's 'Syslog (passive)' row), and
+    forwards to any number of sinks (classifiers, config monitor, tests).
+    """
+
+    def __init__(self, name: str = "syslog-collector"):
+        self.name = name
+        self.received = 0
+        self._sinks: list[Callable[[SyslogMessage], None]] = []
+
+    def subscribe(self, sink: Callable[[SyslogMessage], None]) -> None:
+        self._sinks.append(sink)
+
+    def __call__(self, event: dict[str, Any]) -> None:
+        """The fleet bus delivers raw events here."""
+        message = SyslogMessage.from_event(event)
+        self.received += 1
+        for sink in self._sinks:
+            sink(message)

@@ -1,0 +1,10 @@
+"""Simulation substrate: deterministic clock, event scheduler, workloads.
+
+The paper evaluates Robotron on Facebook's production network over months
+of real time.  This reproduction replays equivalent workloads on a
+simulated clock so every experiment is deterministic and laptop-fast.
+"""
+
+from repro.simulation.clock import Clock, EventScheduler, ScheduledEvent
+
+__all__ = ["Clock", "EventScheduler", "ScheduledEvent"]

@@ -1,0 +1,154 @@
+"""Deterministic simulated time.
+
+All time in the reproduction flows from a :class:`Clock`: replication lag,
+monitoring job periods, deployment grace windows, and the 24-hour /
+multi-week experiment horizons.  A :class:`EventScheduler` runs callbacks
+at scheduled instants when the clock advances, giving the discrete-event
+backbone for the monitoring pipeline and deployment timers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Clock", "EventScheduler", "ScheduledEvent"]
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+
+class Clock:
+    """Simulated wall time in seconds since the simulation epoch."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, instant: float) -> float:
+        """Move time forward to an absolute instant."""
+        if instant < self._now:
+            raise ValueError(
+                f"cannot advance to {instant}: clock is already at {self._now}"
+            )
+        self._now = instant
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Clock t={self._now:.3f}>"
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled on an :class:`EventScheduler`."""
+
+    when: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A discrete-event scheduler driven by a shared :class:`Clock`.
+
+    Events fire in timestamp order (FIFO among equal timestamps) when
+    :meth:`run_until` advances the clock past them.  Callbacks may schedule
+    further events, including at the current instant.
+    """
+
+    def __init__(self, clock: Clock | None = None):
+        self.clock = clock or Clock()
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def call_at(
+        self, when: float, callback: Callable[[], None], name: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute time ``when``."""
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule at {when}: clock is already at {self.clock.now}"
+            )
+        event = ScheduledEvent(when, next(self._seq), callback, name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_after(
+        self, delay: float, callback: Callable[[], None], name: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.call_at(self.clock.now + delay, callback, name)
+
+    def call_every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        name: str = "",
+        first_at: float | None = None,
+    ) -> Callable[[], None]:
+        """Schedule ``callback`` every ``period`` seconds; returns a canceller."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        state: dict[str, ScheduledEvent | None] = {"event": None}
+        stopped = {"flag": False}
+
+        def fire() -> None:
+            if stopped["flag"]:
+                return
+            callback()
+            if not stopped["flag"]:
+                state["event"] = self.call_at(self.clock.now + period, fire, name)
+
+        start = self.clock.now + period if first_at is None else first_at
+        state["event"] = self.call_at(start, fire, name)
+
+        def cancel() -> None:
+            stopped["flag"] = True
+            event = state["event"]
+            if event is not None:
+                event.cancel()
+
+        return cancel
+
+    def run_until(self, instant: float) -> int:
+        """Advance the clock to ``instant``, firing due events; returns count fired."""
+        fired = 0
+        while self._heap and self._heap[0].when <= instant:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(max(event.when, self.clock.now))
+            event.callback()
+            fired += 1
+        self.clock.advance_to(max(instant, self.clock.now))
+        return fired
+
+    def run_for(self, seconds: float) -> int:
+        """Advance the clock by ``seconds``, firing due events."""
+        return self.run_until(self.clock.now + seconds)
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,93 @@
+"""Tests for the shared utility helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.util import (
+    camel_to_snake,
+    chunked,
+    format_table,
+    full_mesh,
+    mean,
+    median,
+    pairwise_circular,
+    percentile,
+)
+
+
+class TestCamelToSnake:
+    @pytest.mark.parametrize(
+        ("camel", "snake"),
+        [
+            ("PhysicalInterface", "physical_interface"),
+            ("BgpV6Session", "bgp_v6_session"),
+            ("Pop", "pop"),
+            ("LinkGroup", "link_group"),
+            ("HTTPServer", "http_server"),
+        ],
+    )
+    def test_cases(self, camel, snake):
+        assert camel_to_snake(camel) == snake
+
+
+class TestChunked:
+    def test_even_and_remainder(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(items=st.lists(st.integers(), max_size=50), size=st.integers(1, 10))
+    def test_concat_is_identity(self, items, size):
+        flattened = [x for chunk in chunked(items, size) for x in chunk]
+        assert flattened == items
+
+
+class TestMeshHelpers:
+    def test_full_mesh_pair_count(self):
+        assert len(list(full_mesh([1, 2, 3, 4]))) == 6
+
+    def test_pairwise_circular(self):
+        assert list(pairwise_circular([1, 2, 3])) == [(1, 2), (2, 3), (3, 1)]
+        assert list(pairwise_circular([])) == []
+
+
+class TestStats:
+    def test_median(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.integers(), min_size=1, max_size=80))
+    def test_percentile_within_range(self, values):
+        ordered = sorted(values)
+        for pct in (0, 25, 50, 75, 100):
+            assert ordered[0] <= percentile(ordered, pct) <= ordered[-1]
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("a", "bb"), [(1, "xx"), (100, "y")])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert lines[2].startswith("1 ")
+        assert lines[3].startswith("100")

@@ -1,0 +1,221 @@
+"""Tests for the Thrift-like config data schema (paper Figure 8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigGenerationError
+from repro.configgen.schema import (
+    CONFIG_SCHEMA,
+    FieldDef,
+    SchemaRegistry,
+    TBool,
+    TI32,
+    TI64,
+    TList,
+    TString,
+    TStructRef,
+)
+
+
+def minimal_device(**overrides):
+    data = {
+        "name": "psw1",
+        "vendor": "vendor2",
+        "system": {"hostname": "psw1"},
+    }
+    data.update(overrides)
+    return data
+
+
+class TestValidation:
+    def test_minimal_device_validates(self):
+        normalized = CONFIG_SCHEMA.validate("Device", minimal_device())
+        assert normalized["aggs"] == []
+        assert normalized["system"]["syslog_collector"] == ""
+
+    def test_missing_required_field(self):
+        with pytest.raises(ConfigGenerationError, match="required"):
+            CONFIG_SCHEMA.validate("Device", {"name": "x", "vendor": "v"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigGenerationError, match="unknown field"):
+            CONFIG_SCHEMA.validate("Device", minimal_device(bogus=1))
+
+    def test_type_mismatch(self):
+        with pytest.raises(ConfigGenerationError, match="expected string"):
+            CONFIG_SCHEMA.validate("Device", minimal_device(name=42))
+
+    def test_nested_struct_validated(self):
+        device = minimal_device(
+            aggs=[{"name": "ae0", "number": "zero"}]  # number must be i32
+        )
+        with pytest.raises(ConfigGenerationError, match="aggs\\[0\\].number"):
+            CONFIG_SCHEMA.validate("Device", device)
+
+    def test_list_element_path_in_error(self):
+        device = minimal_device(aggs=[{"name": "ae0", "number": 0, "pifs": [{}]}])
+        with pytest.raises(ConfigGenerationError, match="pifs\\[0\\].name"):
+            CONFIG_SCHEMA.validate("Device", device)
+
+    def test_i32_range(self):
+        with pytest.raises(ConfigGenerationError, match="i32 range"):
+            CONFIG_SCHEMA.validate(
+                "Device",
+                minimal_device(aggs=[{"name": "ae0", "number": 2**31}]),
+            )
+
+    def test_bool_strictness(self):
+        device = minimal_device(
+            aggs=[{"name": "ae0", "number": 0, "lacp_fast": "yes"}]
+        )
+        with pytest.raises(ConfigGenerationError, match="expected bool"):
+            CONFIG_SCHEMA.validate("Device", device)
+
+    def test_unknown_struct(self):
+        with pytest.raises(ConfigGenerationError, match="unknown struct"):
+            CONFIG_SCHEMA.validate("NoSuchStruct", {})
+
+
+class TestBinaryWire:
+    def test_round_trip_minimal(self):
+        wire = CONFIG_SCHEMA.dumps("Device", minimal_device())
+        revived = CONFIG_SCHEMA.loads("Device", wire)
+        assert revived["name"] == "psw1"
+        assert revived["system"]["hostname"] == "psw1"
+
+    def test_round_trip_full(self):
+        device = minimal_device(
+            role="psw",
+            aggs=[
+                {
+                    "name": "ae0",
+                    "number": 0,
+                    "v6_prefix": "2401:db00::/127",
+                    "pifs": [{"name": "et1/0", "speed_mbps": 10_000}],
+                }
+            ],
+            bgp={
+                "local_asn": 65101,
+                "neighbors": [
+                    {
+                        "peer_ip": "2401:db00::1",
+                        "peer_asn": 65501,
+                        "local_ip": "2401:db00::",
+                        "session_type": "ebgp",
+                        "address_family": "v6",
+                    }
+                ],
+            },
+            tunnels=[{"name": "te-1", "destination": "2401:db00:f::1"}],
+        )
+        revived = CONFIG_SCHEMA.loads("Device", CONFIG_SCHEMA.dumps("Device", device))
+        assert revived["aggs"][0]["pifs"][0]["name"] == "et1/0"
+        assert revived["bgp"]["neighbors"][0]["peer_asn"] == 65501
+        assert revived["tunnels"][0]["destination"] == "2401:db00:f::1"
+
+    def test_absent_optionals_round_trip_as_defaults(self):
+        wire = CONFIG_SCHEMA.dumps("Device", minimal_device())
+        revived = CONFIG_SCHEMA.loads("Device", wire)
+        assert revived["bgp"] is None
+        assert revived["role"] == ""
+
+    def test_trailing_bytes_rejected(self):
+        wire = CONFIG_SCHEMA.dumps("Device", minimal_device())
+        with pytest.raises(ConfigGenerationError, match="trailing"):
+            CONFIG_SCHEMA.loads("Device", wire + b"\x00")
+
+    def test_unicode_strings(self):
+        device = minimal_device(role="日本語-ascii-mix")
+        revived = CONFIG_SCHEMA.loads("Device", CONFIG_SCHEMA.dumps("Device", device))
+        assert revived["role"] == "日本語-ascii-mix"
+
+
+class TestRegistryDefinition:
+    def test_duplicate_field_ids_rejected(self):
+        registry = SchemaRegistry()
+        with pytest.raises(ValueError, match="duplicate field ids"):
+            registry.define(
+                "Bad", [FieldDef(1, "a", TString), FieldDef(1, "b", TString)]
+            )
+
+    def test_duplicate_struct_rejected(self):
+        registry = SchemaRegistry()
+        registry.define("S", [FieldDef(1, "a", TString)])
+        with pytest.raises(ValueError, match="already defined"):
+            registry.define("S", [FieldDef(1, "a", TString)])
+
+    def test_i64_for_asns(self):
+        registry = SchemaRegistry()
+        registry.define("S", [FieldDef(1, "asn", TI64, required=True)])
+        wire = registry.dumps("S", {"asn": 4_200_000_000})
+        assert registry.loads("S", wire)["asn"] == 4_200_000_000
+
+
+class TestSchemaProperties:
+    simple_struct = st.fixed_dictionaries(
+        {
+            "name": st.text(max_size=40),
+            "number": st.integers(min_value=-(2**31), max_value=2**31 - 1),
+            "pifs": st.lists(
+                st.fixed_dictionaries({"name": st.text(max_size=20)}), max_size=5
+            ),
+        }
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(agg=simple_struct)
+    def test_agg_round_trip(self, agg):
+        wire = CONFIG_SCHEMA.dumps("AggregatedInterface", agg)
+        revived = CONFIG_SCHEMA.loads("AggregatedInterface", wire)
+        assert revived["name"] == agg["name"]
+        assert revived["number"] == agg["number"]
+        assert [p["name"] for p in revived["pifs"]] == [
+            p["name"] for p in agg["pifs"]
+        ]
+
+
+class TestAclAndPolicyStructs:
+    def test_acl_policy_round_trip(self):
+        device = minimal_device(
+            acls=[
+                {
+                    "name": "edge-in",
+                    "entries": [
+                        {"sequence": 10, "action": "deny", "protocol": "tcp",
+                         "port": 23},
+                        {"sequence": 20, "action": "permit"},
+                    ],
+                }
+            ],
+        )
+        revived = CONFIG_SCHEMA.loads("Device", CONFIG_SCHEMA.dumps("Device", device))
+        entries = revived["acls"][0]["entries"]
+        assert entries[0]["port"] == 23
+        assert entries[1]["protocol"] == "any"  # default filled
+
+    def test_route_policy_round_trip(self):
+        device = minimal_device(
+            route_policies=[
+                {"name": "isp-in", "prefixes": ["2a00:100::/32"]}
+            ],
+        )
+        revived = CONFIG_SCHEMA.loads("Device", CONFIG_SCHEMA.dumps("Device", device))
+        assert revived["route_policies"][0]["prefixes"] == ["2a00:100::/32"]
+        assert revived["route_policies"][0]["action"] == "permit"
+
+    def test_neighbor_shutdown_and_policy_fields(self):
+        device = minimal_device(
+            bgp={
+                "local_asn": 65000,
+                "neighbors": [
+                    {"peer_ip": "1::2", "peer_asn": 65001, "local_ip": "1::1",
+                     "session_type": "ebgp", "address_family": "v6",
+                     "shutdown": True, "import_policy": "isp-in"},
+                ],
+            },
+        )
+        revived = CONFIG_SCHEMA.loads("Device", CONFIG_SCHEMA.dumps("Device", device))
+        neighbor = revived["bgp"]["neighbors"][0]
+        assert neighbor["shutdown"] is True
+        assert neighbor["import_policy"] == "isp-in"

@@ -1,0 +1,112 @@
+"""Tests for the Robotron facade and environment seeding."""
+
+import pytest
+
+from repro import Robotron, seed_environment
+from repro.common.errors import DesignValidationError, RobotronError
+from repro.fbnet.models import (
+    Cluster,
+    ClusterGeneration,
+    DesignChangeEntry,
+    Device,
+    DeviceStatus,
+    DrainState,
+    PrefixPool,
+)
+
+
+class TestSeeding:
+    def test_catalog_complete(self, store, env):
+        assert set(env.profiles) == {
+            "Router_Vendor1", "Router_Vendor2", "Switch_Vendor1", "Switch_Vendor2",
+        }
+        assert "backbone-loopback-v6" in env.pools
+        assert store.count(PrefixPool) == 7
+
+    def test_sites_spread_over_regions(self, store, env):
+        regions = {pop.related("region").name for pop in env.pops.values()}
+        assert len(regions) >= 1
+
+    def test_seeding_is_transactional(self, store):
+        # Seeding an already-seeded store collides on unique names and
+        # must leave no partial second catalog behind.
+        seed_environment(store)
+        before = store.total_objects()
+        with pytest.raises(Exception):
+            seed_environment(store)
+        assert store.total_objects() == before
+
+
+class TestFacade:
+    def test_build_cluster_requires_design_change_audit(self, robotron):
+        robotron.build_cluster(
+            "pop01.c01", robotron.env.pops["pop01"], ClusterGeneration.POP_GEN2
+        )
+        entries = robotron.store.all(DesignChangeEntry)
+        assert len(entries) == 1
+        assert entries[0].domain == "pop"
+
+    def test_design_change_validates(self, robotron):
+        from repro.fbnet.models import Circuit, CircuitStatus
+
+        with pytest.raises(DesignValidationError):
+            with robotron.design_change(employee_id="e", ticket_id="T"):
+                robotron.store.create(
+                    Circuit, name="bad", status=CircuitStatus.PRODUCTION
+                )
+        assert robotron.store.count(Circuit) == 0
+
+    def test_provision_requires_fleet(self, robotron):
+        cluster = robotron.build_cluster(
+            "pop01.c01", robotron.env.pops["pop01"], ClusterGeneration.POP_GEN2
+        )
+        with pytest.raises(RobotronError, match="boot_fleet"):
+            robotron.provision_cluster(cluster)
+
+    def test_provision_marks_production_undrained(self, pop_network):
+        for device in pop_network.store.all(Device):
+            assert device.status is DeviceStatus.PRODUCTION
+            assert device.drain_state is DrainState.UNDRAINED
+
+    def test_monitoring_defaults_attached(self, pop_network):
+        assert pop_network.jobs is not None
+        assert set(pop_network.jobs.specs) == {
+            "snmp-interfaces", "snmp-system", "cli-lldp", "cli-bgp",
+            "cli-config-backup",
+        }
+
+    def test_run_advances_scheduler(self, pop_network):
+        t0 = pop_network.scheduler.clock.now
+        pop_network.run_minutes(5)
+        assert pop_network.scheduler.clock.now == t0 + 300
+
+    def test_full_lifecycle_bgp_converges(self, pop_network):
+        assert pop_network.fleet.all_bgp_established()
+
+    def test_audit_clean_after_monitoring(self, pop_network):
+        pop_network.run_minutes(10)
+        assert pop_network.audit().clean
+
+
+class TestOperationalShortcuts:
+    def test_drain_undrain_via_facade(self, pop_network):
+        from repro.fbnet.models import DrainState
+
+        result = pop_network.drain("pop01.c01.pr1", reason="facade test")
+        assert result.state is DrainState.DRAINED
+        assert not pop_network.fleet.all_bgp_established()
+        pop_network.undrain("pop01.c01.pr1")
+        assert pop_network.fleet.all_bgp_established()
+
+    def test_peering_tool_cached(self, pop_network):
+        assert pop_network.peering is pop_network.peering
+
+    def test_peering_turnup_via_facade(self, pop_network):
+        from repro.fbnet.models import Device, PeeringLink
+        from repro.fbnet.query import Expr, Op
+
+        pr = pop_network.store.first(
+            Device, Expr("name", Op.EQUAL, "pop01.c01.pr1")
+        )
+        pop_network.peering.turn_up(pr, "FacadeISP", 64700)
+        assert pop_network.store.count(PeeringLink) == 1

@@ -1,0 +1,131 @@
+"""Tests for design changes: accounting, review gate, audit log."""
+
+import pytest
+
+from repro.common.errors import DesignValidationError
+from repro.design.changes import DesignChange, summarize_journal
+from repro.design.validation import DEFAULT_RULES
+from repro.fbnet.models import DesignChangeEntry, Region
+from repro.fbnet.store import ObjectStore
+
+
+class TestSummarizeJournal:
+    def test_create_then_update_counts_once_as_created(self, store):
+        with store.transaction():
+            region = store.create(Region, name="r1")
+            store.update(region, name="r2")
+        summary = summarize_journal(store.journal)
+        assert summary.created == {"Region": 1}
+        assert summary.modified == {}
+
+    def test_create_then_delete_nets_out(self, store):
+        with store.transaction():
+            region = store.create(Region, name="r1")
+            store.delete(region)
+        summary = summarize_journal(store.journal)
+        assert summary.total == 0
+
+    def test_update_then_delete_counts_as_deleted(self, store):
+        region = store.create(Region, name="r1")
+        pos = store.journal_position
+        with store.transaction():
+            store.update(region, name="r2")
+            store.delete(region)
+        summary = summarize_journal(store.journal_since(pos))
+        assert summary.deleted == {"Region": 1}
+
+    def test_audit_entries_excluded(self, store):
+        with store.transaction():
+            store.create(
+                DesignChangeEntry,
+                employee_id="e", ticket_id="t", domain="pop",
+            )
+        assert summarize_journal(store.journal).total == 0
+
+    def test_describe_lists_types(self, store):
+        with store.transaction():
+            store.create(Region, name="r1")
+        text = summarize_journal(store.journal).describe()
+        assert "Region: +1" in text
+
+
+class TestDesignChange:
+    def test_requires_employee_and_ticket(self, store):
+        with pytest.raises(DesignValidationError, match="employee id"):
+            DesignChange(store, employee_id="", ticket_id="T-1")
+
+    def test_commit_writes_audit_entry(self, store):
+        with DesignChange(
+            store, employee_id="e1", ticket_id="T-1", description="add region",
+            domain="backbone",
+        ) as change:
+            store.create(Region, name="r1")
+        assert change.summary.created_total == 1
+        entry = store.all(DesignChangeEntry)[0]
+        assert entry.employee_id == "e1"
+        assert entry.ticket_id == "T-1"
+        assert entry.created_count == 1
+        assert entry.per_type_counts["Region"]["created"] == 1
+
+    def test_reviewer_rejection_rolls_back(self, store):
+        with pytest.raises(DesignValidationError, match="rejected by reviewer"):
+            with DesignChange(
+                store, employee_id="e1", ticket_id="T-1",
+                reviewer=lambda summary: False,
+            ):
+                store.create(Region, name="r1")
+        assert store.count(Region) == 0
+        assert store.count(DesignChangeEntry) == 0
+
+    def test_reviewer_sees_summary(self, store):
+        seen = {}
+
+        def reviewer(summary):
+            seen["total"] = summary.total
+            return True
+
+        with DesignChange(store, employee_id="e1", ticket_id="T-1", reviewer=reviewer):
+            store.create(Region, name="r1")
+        assert seen["total"] == 1
+
+    def test_validator_violation_rolls_back(self, store, env):
+        from repro.fbnet.models import Circuit, CircuitStatus
+
+        def broken_circuit_validator(s):
+            from repro.design.validation import rule_circuit_endpoints
+
+            return rule_circuit_endpoints(s)
+
+        with pytest.raises(DesignValidationError) as excinfo:
+            with DesignChange(
+                store, employee_id="e1", ticket_id="T-1",
+                validators=[broken_circuit_validator],
+            ):
+                store.create(
+                    Circuit, name="dangling", status=CircuitStatus.PRODUCTION
+                )
+        assert excinfo.value.violations
+        assert store.count(Circuit) == 0
+
+    def test_inner_exception_rolls_back(self, store):
+        with pytest.raises(RuntimeError):
+            with DesignChange(store, employee_id="e1", ticket_id="T-1"):
+                store.create(Region, name="r1")
+                raise RuntimeError("tool crashed")
+        assert store.count(Region) == 0
+
+    def test_default_rules_pass_on_clean_build(self, store, env):
+        from repro.design.cluster import build_cluster
+        from repro.fbnet.models import ClusterGeneration
+
+        with DesignChange(
+            store, employee_id="e1", ticket_id="T-1", domain="pop",
+            validators=list(DEFAULT_RULES),
+        ) as change:
+            build_cluster(
+                store, "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+            )
+        # The catalog's POP Gen2 is dual-stack and includes the TOR tier
+        # of Figure 2: the 94 paper-counted v6-only objects grow with v4
+        # prefixes/sessions, 8 TORs, and 32 TOR-PSW bundles.
+        assert change.summary.created_total == 565

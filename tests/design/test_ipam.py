@@ -1,0 +1,131 @@
+"""Tests (incl. property-based) for the IP allocators."""
+
+import ipaddress
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DesignValidationError
+from repro.design.ipam import IpAllocator, p2p_pair
+from repro.fbnet.models import (
+    AggregatedInterface,
+    NetworkSwitch,
+    PrefixPool,
+    V4Prefix,
+    V6Prefix,
+)
+from repro.fbnet.store import ObjectStore
+from repro.core.seeds import seed_environment
+
+
+@pytest.fixture
+def aggs(store, env):
+    device = store.create(
+        NetworkSwitch, name="psw1", hardware_profile=env.profiles["Switch_Vendor2"]
+    )
+    return [
+        store.create(AggregatedInterface, name=f"ae{i}", device=device, number=i)
+        for i in range(8)
+    ]
+
+
+class TestP2pPair:
+    def test_v4(self):
+        assert p2p_pair("10.0.0.0/31") == ("10.0.0.0/31", "10.0.0.1/31")
+
+    def test_v6(self):
+        assert p2p_pair("2401:db00::/127") == ("2401:db00::/127", "2401:db00::1/127")
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(DesignValidationError):
+            p2p_pair("10.0.0.0/30")
+
+
+class TestAllocator:
+    def test_assign_p2p_same_subnet(self, store, env, aggs):
+        allocator = IpAllocator(store, env.pools["pop-p2p-v6"])
+        a, z = allocator.assign_p2p(aggs[0], aggs[1])
+        a_net = ipaddress.ip_interface(a.prefix).network
+        z_net = ipaddress.ip_interface(z.prefix).network
+        assert a_net == z_net
+        assert a.prefix != z.prefix
+
+    def test_sequential_allocations_disjoint(self, store, env, aggs):
+        allocator = IpAllocator(store, env.pools["pop-p2p-v4"])
+        nets = set()
+        for i in range(0, 8, 2):
+            a, _z = allocator.assign_p2p(aggs[i], aggs[i + 1])
+            nets.add(ipaddress.ip_interface(a.prefix).network)
+        assert len(nets) == 4
+
+    def test_fresh_allocator_respects_existing_state(self, store, env, aggs):
+        """FBNet is the source of truth: a new allocator sees old grants."""
+        first = IpAllocator(store, env.pools["pop-p2p-v6"])
+        a1, _ = first.assign_p2p(aggs[0], aggs[1])
+        second = IpAllocator(store, env.pools["pop-p2p-v6"])
+        a2, _ = second.assign_p2p(aggs[2], aggs[3])
+        assert ipaddress.ip_interface(a1.prefix).network != (
+            ipaddress.ip_interface(a2.prefix).network
+        )
+
+    def test_exhaustion(self, store, env, aggs):
+        pool = store.create(PrefixPool, name="tiny", prefix="10.9.0.0/30", version=4)
+        allocator = IpAllocator(store, pool)
+        allocator.assign_p2p(aggs[0], aggs[1])
+        allocator.assign_p2p(aggs[2], aggs[3])
+        with pytest.raises(DesignValidationError, match="exhausted"):
+            allocator.assign_p2p(aggs[4], aggs[5])
+
+    def test_assign_host(self, store, env, aggs):
+        allocator = IpAllocator(store, env.pools["backbone-loopback-v6"])
+        prefix = allocator.assign_host(aggs[0])
+        assert prefix.prefix.endswith("/128")
+
+    def test_utilization(self, store, env, aggs):
+        pool = store.create(PrefixPool, name="tiny4", prefix="10.9.0.0/30", version=4)
+        allocator = IpAllocator(store, pool)
+        assert allocator.utilization() == 0.0
+        allocator.assign_p2p(aggs[0], aggs[1])
+        assert allocator.utilization() == 0.5
+
+    def test_version_mismatch_rejected(self, store):
+        pool = store.create(PrefixPool, name="bad", prefix="10.0.0.0/24", version=6)
+        with pytest.raises(DesignValidationError, match="version"):
+            IpAllocator(store, pool)
+
+    def test_prefixlen_larger_than_pool_rejected(self, store, env):
+        allocator = IpAllocator(store, env.pools["pop-p2p-v4"])
+        with pytest.raises(DesignValidationError, match="larger than pool"):
+            allocator.allocate_subnet(8)
+
+    def test_allocated_subnets_reads_desired_models(self, store, env, aggs):
+        allocator = IpAllocator(store, env.pools["pop-p2p-v6"])
+        allocator.assign_p2p(aggs[0], aggs[1])
+        assert len(allocator.allocated_subnets()) == 1
+        assert store.count(V6Prefix) == 2  # one object per endpoint
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(pairs=st.integers(min_value=1, max_value=40))
+    def test_never_double_allocates(self, pairs):
+        store = ObjectStore()
+        env = seed_environment(store)
+        device = store.create(
+            NetworkSwitch, name="psw1",
+            hardware_profile=env.profiles["Switch_Vendor2"],
+        )
+        aggs = [
+            store.create(AggregatedInterface, name=f"ae{i}", device=device, number=i)
+            for i in range(2 * pairs)
+        ]
+        allocator = IpAllocator(store, env.pools["dc-p2p-v4"])
+        for i in range(pairs):
+            allocator.assign_p2p(aggs[2 * i], aggs[2 * i + 1])
+        prefixes = [p.prefix for p in store.all(V4Prefix)]
+        # Every assigned address is unique...
+        assert len(set(prefixes)) == len(prefixes) == 2 * pairs
+        # ...and every pair shares a subnet with only its partner.
+        networks = [ipaddress.ip_interface(p).network for p in prefixes]
+        assert len(set(networks)) == pairs

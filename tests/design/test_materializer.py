@@ -1,0 +1,203 @@
+"""Tests for topology templates and cluster materialization (Figure 7)."""
+
+import pytest
+
+from repro.common.errors import DesignValidationError
+from repro.design.materializer import PortAllocator, materialize_cluster
+from repro.design.topology import (
+    DeviceGroupSpec,
+    IpSchemeSpec,
+    LinkGroupSpec,
+    TopologyTemplate,
+    four_post_pop_template,
+)
+from repro.fbnet.models import (
+    AggregatedInterface,
+    BgpV6Session,
+    Circuit,
+    Cluster,
+    ClusterGeneration,
+    Linecard,
+    LinkGroup,
+    NetworkSwitch,
+    PeeringRouter,
+    PhysicalInterface,
+    V4Prefix,
+    V6Prefix,
+)
+from repro.fbnet.query import Expr, Op
+
+#: Object types the paper's "94 objects" figure counts (Figure 7 labels
+#: devices, circuits, interfaces, prefixes, and BGP sessions).
+PAPER_COUNTED = {
+    "PeeringRouter",
+    "NetworkSwitch",
+    "AggregatedInterface",
+    "PhysicalInterface",
+    "Circuit",
+    "V4Prefix",
+    "V6Prefix",
+    "BgpV4Session",
+    "BgpV6Session",
+}
+
+
+@pytest.fixture
+def built(store, env):
+    pos = store.journal_position
+    result = materialize_cluster(
+        store,
+        four_post_pop_template(),
+        "pop01.c01",
+        env.pops["pop01"],
+        generation=ClusterGeneration.POP_GEN2,
+    )
+    created = [r for r in store.journal_since(pos) if r.op.value == "create"]
+    return result, created
+
+
+class TestTemplateValidation:
+    def test_duplicate_groups_rejected(self):
+        with pytest.raises(DesignValidationError, match="duplicate"):
+            TopologyTemplate(
+                name="bad",
+                device_groups=(
+                    DeviceGroupSpec("A", "NetworkSwitch", 1, "Switch_Vendor2", "a"),
+                    DeviceGroupSpec("A", "NetworkSwitch", 1, "Switch_Vendor2", "b"),
+                ),
+                link_groups=(),
+                ip_scheme=IpSchemeSpec(v6_pool="x"),
+            )
+
+    def test_unknown_link_group_reference(self):
+        with pytest.raises(DesignValidationError, match="unknown device group"):
+            TopologyTemplate(
+                name="bad",
+                device_groups=(
+                    DeviceGroupSpec("A", "NetworkSwitch", 1, "Switch_Vendor2", "a"),
+                ),
+                link_groups=(LinkGroupSpec("A", "B"),),
+                ip_scheme=IpSchemeSpec(v6_pool="x"),
+            )
+
+    def test_self_link_rejected(self):
+        with pytest.raises(DesignValidationError, match="differ"):
+            LinkGroupSpec("A", "A")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(DesignValidationError):
+            DeviceGroupSpec("A", "NetworkSwitch", 0, "Switch_Vendor2", "a")
+
+    def test_bundle_count(self):
+        template = four_post_pop_template()
+        assert template.device_count() == 6
+        assert template.bundle_count() == 8  # 4 PSW x 2 PR
+
+
+class TestFourPostMaterialization:
+    def test_paper_counted_objects_is_94(self, built):
+        """The paper: 'In total, 94 objects of various types are created'."""
+        _result, created = built
+        counted = [r for r in created if r.model in PAPER_COUNTED]
+        assert len(counted) == 94
+
+    def test_device_breakdown(self, built, store):
+        assert store.count(PeeringRouter) == 2
+        assert store.count(NetworkSwitch) == 4
+
+    def test_bundles_and_circuits(self, built, store):
+        assert store.count(LinkGroup) == 8
+        assert store.count(Circuit) == 16  # 2 circuits per bundle
+        assert store.count(AggregatedInterface) == 16  # one per bundle side
+        assert store.count(PhysicalInterface) == 32
+
+    def test_bgp_sessions_one_per_bundle(self, built, store):
+        assert store.count(BgpV6Session) == 8
+
+    def test_prefix_per_bundle_side(self, built, store):
+        assert store.count(V6Prefix) == 16
+        assert store.count(V4Prefix) == 0  # default template is v6-only
+
+    def test_relationships_fully_wired(self, built, store):
+        """Every pif is in a linecard and an aggregate; circuits close."""
+        for pif in store.all(PhysicalInterface):
+            assert pif.linecard is not None
+            assert pif.agg_interface is not None
+        for circuit in store.all(Circuit):
+            a_dev = circuit.a_interface.related("linecard").related("device")
+            z_dev = circuit.z_interface.related("linecard").related("device")
+            assert a_dev.id != z_dev.id
+
+    def test_transactionality(self, store, env):
+        """A mid-build failure (bad pool) leaves nothing behind."""
+        template = four_post_pop_template(v6_pool="no-such-pool")
+        before = store.total_objects()
+        with pytest.raises(DesignValidationError):
+            materialize_cluster(
+                store, template, "pop01.cX", env.pops["pop01"],
+                generation=ClusterGeneration.POP_GEN2,
+            )
+        assert store.total_objects() == before
+
+    def test_duplicate_cluster_name_rejected(self, built, store, env):
+        with pytest.raises(Exception):
+            materialize_cluster(
+                store, four_post_pop_template(), "pop01.c01", env.pops["pop01"],
+                generation=ClusterGeneration.POP_GEN2,
+            )
+
+    def test_dual_stack_template(self, store, env):
+        template = four_post_pop_template(v4_pool="pop-p2p-v4")
+        materialize_cluster(
+            store, template, "pop01.c02", env.pops["pop01"],
+            generation=ClusterGeneration.POP_GEN2,
+        )
+        assert store.count(V4Prefix) == 16
+        from repro.fbnet.models import BgpV4Session
+
+        assert store.count(BgpV4Session) == 8
+
+    def test_location_type_enforced(self, store, env):
+        with pytest.raises(DesignValidationError, match="Pop or Datacenter"):
+            materialize_cluster(
+                store, four_post_pop_template(), "x",
+                env.backbone_sites["bbs01"],
+                generation=ClusterGeneration.POP_GEN2,
+            )
+
+
+class TestPortAllocator:
+    def test_ports_sequential_and_linecards_on_demand(self, store, env):
+        device = store.create(
+            NetworkSwitch, name="psw1",
+            hardware_profile=env.profiles["Switch_Vendor2"],
+        )
+        ports = PortAllocator(store, device)
+        pifs = [ports.create_interface(10_000) for _ in range(50)]
+        assert pifs[0].name == "et1/0"
+        assert pifs[47].name == "et1/47"
+        assert pifs[48].name == "et2/0"  # rolled into the next linecard
+        assert store.count(Linecard, Expr("device", Op.EQUAL, device.id)) == 2
+
+    def test_skips_existing_ports(self, store, env):
+        device = store.create(
+            NetworkSwitch, name="psw1",
+            hardware_profile=env.profiles["Switch_Vendor2"],
+        )
+        first = PortAllocator(store, device)
+        first.create_interface(10_000)
+        second = PortAllocator(store, device)  # fresh allocator, same truth
+        pif = second.create_interface(10_000)
+        assert pif.name == "et1/1"
+
+    def test_capacity_exhaustion(self, store, env):
+        device = store.create(
+            NetworkSwitch, name="psw1",
+            hardware_profile=env.profiles["Switch_Vendor2"],
+        )
+        ports = PortAllocator(store, device)
+        capacity = env.profiles["Switch_Vendor2"].total_ports()
+        for _ in range(capacity):
+            ports.create_interface(10_000)
+        with pytest.raises(DesignValidationError, match="no free ports"):
+            ports.create_interface(10_000)

@@ -1,0 +1,142 @@
+"""Tests for peering/transit turn-up and the section-8 policy rule."""
+
+import pytest
+
+from repro.common.errors import DesignValidationError
+from repro.design.peering import (
+    PeeringDesignTool,
+    rule_external_sessions_have_import_policy,
+)
+from repro.design.validation import validate
+from repro.devices.parsers import parse_config
+from repro.fbnet.models import (
+    AutonomousSystem,
+    BgpV6Session,
+    Device,
+    IspPeer,
+    PeeringLink,
+    V6Prefix,
+)
+from repro.fbnet.query import Expr, Op
+
+
+@pytest.fixture
+def tool(store, env):
+    return PeeringDesignTool(store)
+
+
+@pytest.fixture
+def pr(store, env):
+    from repro.fbnet.models import PeeringRouter
+
+    return store.create(
+        PeeringRouter, name="pop01.pr1",
+        hardware_profile=env.profiles["Router_Vendor1"], pop=env.pops["pop01"],
+    )
+
+
+class TestTurnUp:
+    def test_models_everything(self, store, tool, pr):
+        link = tool.turn_up(pr, "ExampleNet", 64512, kind="transit")
+        assert store.count(AutonomousSystem, Expr("asn", Op.EQUAL, 64512)) == 1
+        assert store.count(IspPeer) == 1
+        session = link.related("bgp_session")
+        assert session.peer_device is None  # the far end is not ours
+        assert session.peer_asn == 64512
+        # Our /127 half is a Desired prefix; both halves share the subnet.
+        import ipaddress
+
+        prefix = store.all(V6Prefix)[-1]
+        network = ipaddress.ip_interface(prefix.prefix).network
+        assert ipaddress.ip_address(session.peer_ip) in network
+
+    def test_two_turnups_get_distinct_subnets(self, store, tool, pr):
+        a = tool.turn_up(pr, "IspA", 64512)
+        b = tool.turn_up(pr, "IspB", 64513)
+        session_a = a.related("bgp_session")
+        session_b = b.related("bgp_session")
+        assert session_a.local_ip != session_b.local_ip
+        assert validate(store) == []
+
+    def test_same_isp_reused(self, store, tool, pr):
+        tool.turn_up(pr, "IspA", 64512)
+        tool.turn_up(pr, "IspA", 64512)
+        assert store.count(IspPeer) == 1
+        assert store.count(AutonomousSystem, Expr("asn", Op.EQUAL, 64512)) == 1
+        assert store.count(PeeringLink) == 2
+
+    def test_requires_peering_router(self, store, env, tool):
+        from repro.fbnet.models import NetworkSwitch
+
+        psw = store.create(
+            NetworkSwitch, name="psw1",
+            hardware_profile=env.profiles["Switch_Vendor2"],
+        )
+        with pytest.raises(DesignValidationError, match="PeeringRouters"):
+            tool.turn_up(psw, "IspA", 64512)
+
+    def test_bad_kind(self, store, tool, pr):
+        with pytest.raises(DesignValidationError, match="peering/transit"):
+            tool.turn_up(pr, "IspA", 64512, kind="magic")
+
+    def test_turn_down_cleans_up(self, store, tool, pr):
+        before = store.table_sizes()
+        link = tool.turn_up(pr, "IspA", 64512)
+        tool.turn_down(link)
+        after = store.table_sizes()
+        # The AS and IspPeer records persist (they're directory data);
+        # the session, interface, prefix, and link are gone.
+        for model_name in ("BgpV6Session", "PeeringLink", "V6Prefix"):
+            assert after.get(model_name, 0) == before.get(model_name, 0)
+        assert after.get("IspPeer", 0) == 1
+
+
+class TestImportPolicies:
+    def test_policy_validated(self, tool):
+        with pytest.raises(DesignValidationError, match="bad prefix"):
+            tool.create_import_policy("bad", ["not-a-cidr"])
+
+    def test_policy_renders_into_config(self, store, env, tool, pr):
+        policy = tool.create_import_policy(
+            "isp-a-in", ["2a00:100::/32", "2a00:200::/32"]
+        )
+        tool.turn_up(pr, "IspA", 64512, import_policy=policy)
+        from repro.configgen.generator import ConfigGenerator
+
+        config = ConfigGenerator(store).generate_device(pr)
+        assert "route-map isp-a-in" in config.text
+        assert "ipv6 prefix-list isp-a-in permit 2a00:100::/32" in config.text
+        parsed = parse_config(config.vendor, config.text)
+        session = store.all(BgpV6Session)[-1]
+        assert parsed.bgp_neighbors[session.peer_ip].import_policy == "isp-a-in"
+        assert parsed.route_policies["isp-a-in"] == [
+            "2a00:100::/32", "2a00:200::/32",
+        ]
+
+    def test_section8_rule_flags_unfiltered_external_sessions(
+        self, store, tool, pr
+    ):
+        """The war story: an external session without its import policy."""
+        tool.turn_up(pr, "IspRisky", 64999)  # no policy attached
+        violations = rule_external_sessions_have_import_policy(store)
+        assert len(violations) == 1
+        assert "no import policy" in violations[0]
+
+        # Attaching the policy clears the finding.
+        policy = tool.create_import_policy("risky-in", ["2a00:300::/32"])
+        session = store.all(BgpV6Session)[-1]
+        store.update(session, import_policy=policy)
+        assert rule_external_sessions_have_import_policy(store) == []
+
+    def test_internal_fabric_sessions_exempt(self, pop_network):
+        """Fabric eBGP (both ends ours) needs no import policy."""
+        violations = rule_external_sessions_have_import_policy(pop_network.store)
+        assert violations == []
+
+    def test_policy_protected_while_referenced(self, store, tool, pr):
+        policy = tool.create_import_policy("in-use", ["2a00:400::/32"])
+        tool.turn_up(pr, "IspA", 64512, import_policy=policy)
+        from repro.common.errors import IntegrityError
+
+        with pytest.raises(IntegrityError, match="protected"):
+            store.delete(policy)

@@ -1,0 +1,164 @@
+"""Tests for the portmap change-plan write API (paper section 4.2.2)."""
+
+import pytest
+
+from repro.common.errors import DesignValidationError
+from repro.design.portmap import PortmapChangePlan, PortmapSpec, execute_change_plan
+from repro.fbnet.api import WriteApi
+from repro.fbnet.models import (
+    BgpSessionType,
+    BgpV6Session,
+    Circuit,
+    LinkGroup,
+    NetworkSwitch,
+    PhysicalInterface,
+    V6Prefix,
+)
+from repro.fbnet.query import Expr, Op
+
+
+@pytest.fixture
+def devices(store, env):
+    return [
+        store.create(
+            NetworkSwitch, name=f"psw{i}",
+            hardware_profile=env.profiles["Switch_Vendor2"],
+        )
+        for i in (1, 2, 3)
+    ]
+
+
+def spec(a="psw1", z="psw2", circuits=2, **kwargs):
+    kwargs.setdefault("v6_pool", "dc-p2p-v6")
+    return PortmapSpec(a_device=a, z_device=z, circuits=circuits, **kwargs)
+
+
+class TestPlanClassification:
+    def test_operations(self):
+        assert PortmapChangePlan(new=spec()).operation == "create"
+        assert PortmapChangePlan(old=spec()).operation == "delete"
+        assert PortmapChangePlan(old=spec(), new=spec(circuits=4)).operation == "update"
+        assert PortmapChangePlan(old=spec(), new=spec(z="psw3")).operation == "migrate"
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(DesignValidationError):
+            PortmapChangePlan()
+
+    def test_self_portmap_rejected(self):
+        with pytest.raises(DesignValidationError):
+            spec(a="psw1", z="psw1")
+
+    def test_zero_circuits_rejected(self):
+        with pytest.raises(DesignValidationError):
+            spec(circuits=0)
+
+
+class TestCreateDelete:
+    def test_create_builds_full_bundle(self, store, devices):
+        report = execute_change_plan(store, PortmapChangePlan(new=spec()))
+        assert report["operation"] == "create"
+        assert store.count(LinkGroup) == 1
+        assert store.count(Circuit) == 2
+        assert store.count(PhysicalInterface) == 4
+        assert store.count(V6Prefix) == 2
+
+    def test_create_duplicate_rejected(self, store, devices):
+        execute_change_plan(store, PortmapChangePlan(new=spec()))
+        with pytest.raises(DesignValidationError, match="already exists"):
+            execute_change_plan(store, PortmapChangePlan(new=spec()))
+
+    def test_create_with_bgp(self, store, devices):
+        execute_change_plan(
+            store,
+            PortmapChangePlan(
+                new=spec(bgp=BgpSessionType.EBGP, local_asn=65001, peer_asn=65002)
+            ),
+        )
+        assert store.count(BgpV6Session) == 1
+
+    def test_unknown_device_rejected(self, store, devices):
+        with pytest.raises(DesignValidationError, match="no device"):
+            execute_change_plan(store, PortmapChangePlan(new=spec(a="ghost")))
+
+    def test_delete_removes_everything(self, store, devices):
+        execute_change_plan(
+            store,
+            PortmapChangePlan(
+                new=spec(bgp=BgpSessionType.EBGP, local_asn=65001, peer_asn=65002)
+            ),
+        )
+        report = execute_change_plan(store, PortmapChangePlan(old=spec()))
+        assert report["operation"] == "delete"
+        for model in (LinkGroup, Circuit, PhysicalInterface, V6Prefix, BgpV6Session):
+            assert store.count(model) == 0
+
+    def test_delete_missing_rejected(self, store, devices):
+        with pytest.raises(DesignValidationError, match="no portmap"):
+            execute_change_plan(store, PortmapChangePlan(old=spec()))
+
+
+class TestUpdate:
+    def test_grow(self, store, devices):
+        execute_change_plan(store, PortmapChangePlan(new=spec(circuits=2)))
+        report = execute_change_plan(
+            store, PortmapChangePlan(old=spec(circuits=2), new=spec(circuits=4))
+        )
+        assert len(report["added"]) == 2
+        assert store.count(Circuit) == 4
+        assert store.count(PhysicalInterface) == 8
+
+    def test_shrink(self, store, devices):
+        execute_change_plan(store, PortmapChangePlan(new=spec(circuits=3)))
+        report = execute_change_plan(
+            store, PortmapChangePlan(old=spec(circuits=3), new=spec(circuits=1))
+        )
+        assert len(report["removed"]) == 2
+        assert store.count(Circuit) == 1
+        assert store.count(PhysicalInterface) == 2
+
+    def test_update_reversed_orientation(self, store, devices):
+        execute_change_plan(store, PortmapChangePlan(new=spec(circuits=1)))
+        flipped = spec(a="psw2", z="psw1", circuits=2)
+        execute_change_plan(store, PortmapChangePlan(old=flipped, new=flipped))
+        assert store.count(Circuit) == 2
+
+
+class TestMigrate:
+    def test_migrate_moves_endpoint(self, store, devices):
+        execute_change_plan(store, PortmapChangePlan(new=spec()))
+        report = execute_change_plan(
+            store, PortmapChangePlan(old=spec(), new=spec(z="psw3"))
+        )
+        assert report["operation"] == "migrate"
+        assert report["kept_device"] == "psw1"
+        bundle = store.all(LinkGroup)[0]
+        assert bundle.name == "psw1--psw3"
+        # Old endpoints' interfaces/prefixes are gone, new ones exist.
+        for pif in store.all(PhysicalInterface):
+            device = pif.related("linecard").related("device")
+            assert device.name in ("psw1", "psw3")
+
+    def test_migrate_both_endpoints_rejected(self, store, devices):
+        execute_change_plan(store, PortmapChangePlan(new=spec()))
+        with pytest.raises(DesignValidationError, match="exactly one endpoint"):
+            execute_change_plan(
+                store,
+                PortmapChangePlan(
+                    old=spec(),
+                    new=PortmapSpec(
+                        a_device="psw3", z_device="ghost", circuits=2,
+                        v6_pool="dc-p2p-v6",
+                    ),
+                ),
+            )
+
+
+class TestViaWriteApi:
+    def test_write_api_wraps_in_transaction(self, store, devices):
+        api = WriteApi(store)
+        api.apply_portmap_change_plan(PortmapChangePlan(new=spec()))
+        assert store.count(LinkGroup) == 1
+        # A failing plan rolls back completely.
+        with pytest.raises(DesignValidationError):
+            api.apply_portmap_change_plan(PortmapChangePlan(new=spec()))
+        assert store.count(LinkGroup) == 1

@@ -1,0 +1,227 @@
+"""Tests for the emulated device: config ops, timers, endpoints, faults."""
+
+import pytest
+
+from repro.common.errors import MonitoringError
+from repro.devices.emulator import (
+    CommitError,
+    DeviceDownError,
+    EmulatedDevice,
+    UnsupportedOperation,
+)
+from repro.simulation.clock import EventScheduler
+
+V1_CONFIG = "hostname d1\ninterface ae0\n mtu 9192\n no shutdown\n!\n"
+V1_CONFIG_B = "hostname d1\ninterface ae0\n mtu 9000\n no shutdown\n!\n"
+V2_CONFIG = "system {\n    host-name d1;\n}\n"
+V2_CONFIG_B = "system {\n    host-name d1;\n    domain-name x.net;\n}\n"
+
+
+@pytest.fixture
+def sched():
+    return EventScheduler()
+
+
+@pytest.fixture
+def v1(sched):
+    return EmulatedDevice("d1", "vendor1", sched)
+
+
+@pytest.fixture
+def v2(sched):
+    return EmulatedDevice("d1", "vendor2", sched)
+
+
+class TestConfigOps:
+    def test_commit_applies(self, v1):
+        v1.commit(V1_CONFIG)
+        assert v1.running_config == V1_CONFIG
+        assert v1.parsed.hostname == "d1"
+
+    def test_commit_syntax_error_rejected(self, v1):
+        with pytest.raises(CommitError):
+            v1.commit("nonsense statement\n")
+        assert v1.running_config == ""
+
+    def test_copy_config_requires_clean(self, v1):
+        v1.commit(V1_CONFIG)
+        with pytest.raises(CommitError, match="clean"):
+            v1.copy_config(V1_CONFIG_B)
+        v1.erase()
+        v1.copy_config(V1_CONFIG_B)
+        assert v1.parsed.interfaces["ae0"].mtu == 9000
+
+    def test_rollback(self, v1):
+        v1.commit(V1_CONFIG)
+        v1.commit(V1_CONFIG_B)
+        v1.rollback(1)
+        assert v1.running_config == V1_CONFIG
+
+    def test_rollback_too_far(self, v1):
+        v1.commit(V1_CONFIG)
+        with pytest.raises(CommitError, match="cannot roll back"):
+            v1.rollback(5)
+
+    def test_config_history_grows(self, v1):
+        v1.commit(V1_CONFIG)
+        v1.commit(V1_CONFIG_B)
+        assert len(v1.config_history) == 2
+
+
+class TestDryrun:
+    def test_vendor2_native_dryrun(self, v2):
+        v2.commit(V2_CONFIG)
+        diff = v2.dryrun(V2_CONFIG_B)
+        assert "+    domain-name x.net;" in diff
+        assert v2.running_config == V2_CONFIG  # nothing applied
+
+    def test_vendor2_dryrun_catches_syntax(self, v2):
+        with pytest.raises(Exception):
+            v2.dryrun("not vendor2 at all\n")
+
+    def test_vendor1_has_no_native_dryrun(self, v1):
+        assert not v1.supports_native_dryrun
+        with pytest.raises(UnsupportedOperation):
+            v1.dryrun(V1_CONFIG)
+
+
+class TestCommitConfirmed:
+    def test_confirm_keeps_change(self, sched, v1):
+        v1.commit(V1_CONFIG)
+        v1.commit_confirmed(V1_CONFIG_B, grace_seconds=600)
+        assert v1.running_config == V1_CONFIG_B
+        v1.confirm()
+        sched.run_for(1200)
+        assert v1.running_config == V1_CONFIG_B
+
+    def test_timeout_rolls_back(self, sched, v1):
+        v1.commit(V1_CONFIG)
+        v1.commit_confirmed(V1_CONFIG_B, grace_seconds=600)
+        sched.run_for(601)
+        assert v1.running_config == V1_CONFIG
+
+    def test_confirm_without_pending(self, v1):
+        with pytest.raises(CommitError, match="no commit awaiting"):
+            v1.confirm()
+
+    def test_new_commit_cancels_pending_confirm(self, sched, v1):
+        v1.commit(V1_CONFIG)
+        v1.commit_confirmed(V1_CONFIG_B, grace_seconds=600)
+        v1.commit(V1_CONFIG_B)  # explicit commit supersedes the timer
+        sched.run_for(1200)
+        assert v1.running_config == V1_CONFIG_B
+
+    def test_bad_grace(self, v1):
+        with pytest.raises(CommitError):
+            v1.commit_confirmed(V1_CONFIG, grace_seconds=0)
+
+
+class TestLiveness:
+    def test_crash_blocks_management(self, v1):
+        v1.crash()
+        assert not v1.reachable()
+        with pytest.raises(DeviceDownError):
+            v1.commit(V1_CONFIG)
+        with pytest.raises(DeviceDownError):
+            v1.snmp_get("system")
+
+    def test_boot_restores_and_logs(self, sched, v1):
+        events = []
+        v1.on_syslog(events.append)
+        v1.crash()
+        sched.clock.advance(100)
+        v1.boot()
+        assert v1.reachable()
+        assert any("restarted" in e["message"] for e in events)
+        assert v1.uptime == 0.0
+
+    def test_configs_survive_crash(self, v1):
+        v1.commit(V1_CONFIG)
+        v1.crash()
+        v1.boot()
+        assert v1.running_config == V1_CONFIG
+
+
+class TestFaultInjection:
+    def test_fail_next_commits(self, v1):
+        v1.fail_next_commits = 1
+        with pytest.raises(CommitError, match="device error"):
+            v1.commit(V1_CONFIG)
+        v1.commit(V1_CONFIG)  # next attempt succeeds
+        assert v1.running_config == V1_CONFIG
+
+    def test_commit_delay_reported(self, v1):
+        v1.commit_delay = 42.0
+        assert v1.commit(V1_CONFIG) == 42.0
+
+
+class TestSyslog:
+    def test_config_change_emits_when_collector_configured(self, v1):
+        events = []
+        v1.on_syslog(events.append)
+        v1.commit("hostname d1\nlogging host 2401:db00:ffff::514\n")
+        assert any(e["tag"] == "CONFIG" for e in events)
+
+    def test_silent_without_collector_config(self, v1):
+        events = []
+        v1.on_syslog(events.append)
+        v1.commit(V1_CONFIG)  # no "logging host" in config
+        assert events == []
+
+    def test_drop_syslog_fault(self, v1):
+        events = []
+        v1.on_syslog(events.append)
+        v1.drop_syslog = True
+        v1.commit("hostname d1\nlogging host 2401:db00:ffff::514\n")
+        assert events == []
+
+
+class TestMonitoringEndpoints:
+    def test_snmp_tables(self, v1):
+        v1.commit(V1_CONFIG)
+        rows = v1.snmp_get("interfaces")
+        assert rows[0]["name"] == "ae0"
+        system = v1.snmp_get("system")
+        assert 0 < system["cpu"] < 1
+
+    def test_capability_matrix(self, v1, v2):
+        v1.commit(V1_CONFIG)
+        v2.commit(V2_CONFIG)
+        v1.xmlrpc_get("interfaces")  # vendor1: ok
+        v2.thrift_get("interfaces")  # vendor2: ok
+        with pytest.raises(MonitoringError, match="does not support"):
+            v1.thrift_get("interfaces")
+        with pytest.raises(MonitoringError, match="does not support"):
+            v2.xmlrpc_get("interfaces")
+
+    def test_request_counters(self, v1):
+        v1.commit(V1_CONFIG)
+        v1.snmp_get("system")
+        v1.cli_show("show running-config")
+        assert v1.requests_served["snmp"] == 1
+        assert v1.requests_served["cli"] == 1
+
+    def test_lacp_members_via_cli(self, v1):
+        v1.commit(
+            "hostname d1\ninterface ae0\n no shutdown\n!\n"
+            "interface et1/0\n channel-group ae0\n no shutdown\n!\n"
+        )
+        members = v1.cli_show("show lacp members ae0")
+        assert members[0]["member"] == "et1/0"
+
+    def test_unknown_cli_command(self, v1):
+        with pytest.raises(MonitoringError, match="unknown CLI"):
+            v1.cli_show("show frobnicator")
+
+    def test_loopback_always_up(self, v1):
+        v1.commit("hostname d1\ninterface lo0\n ipv6 addr 2401::1/128\n!\n")
+        assert v1.interface_oper_status("lo0") == "up"
+
+    def test_unwired_physical_down(self, v1):
+        v1.commit(V1_CONFIG)  # ae0 has no members, not wired
+        assert v1.interface_oper_status("ae0") == "down"
+
+    def test_interface_with_ip(self, v1):
+        v1.commit("hostname d1\ninterface ae0\n ip addr 10.0.0.0/31\n!\n")
+        assert v1.interface_with_ip("10.0.0.0") == "ae0"
+        assert v1.interface_with_ip("10.9.9.9") is None

@@ -1,0 +1,191 @@
+"""Tests for the device fleet: wiring, LLDP, cross-device BGP state."""
+
+import pytest
+
+from repro.common.errors import DeploymentError
+from repro.configgen.generator import ConfigGenerator
+from repro.design.cluster import build_cluster
+from repro.devices.fleet import DeviceFleet
+from repro.fbnet.models import ClusterGeneration
+
+
+def two_node_fleet():
+    """Two directly-wired devices with matching configs and BGP."""
+    fleet = DeviceFleet()
+    a = fleet.add_device("a", "vendor1")
+    b = fleet.add_device("b", "vendor2")
+    fleet.wire("a", "et1/0", "b", "et1/0")
+    a.commit(
+        "hostname a\n"
+        "interface ae0\n ip addr 10.0.0.0/31\n no shutdown\n!\n"
+        "interface et1/0\n channel-group ae0\n no shutdown\n!\n"
+        "router bgp 65001\n neighbor 10.0.0.1 remote-as 65002\n"
+        " neighbor 10.0.0.1 update-source 10.0.0.0\n!\n"
+    )
+    b.commit(
+        "system {\n    host-name b;\n}\n"
+        "interfaces {\n"
+        "    ae0 {\n        unit 0 {\n            family inet {\n"
+        "                addr 10.0.0.1/31;\n            }\n        }\n    }\n"
+        "    et1/0 {\n        gigether-options {\n            802.3ad ae0;\n"
+        "        }\n    }\n}\n"
+        "protocols {\n    bgp {\n        local-as 65002;\n"
+        "        neighbor 10.0.0.0 {\n            peer-as 65001;\n"
+        "            local-address 10.0.0.1;\n        }\n    }\n}\n"
+    )
+    return fleet, a, b
+
+
+class TestWiring:
+    def test_wire_and_peer_lookup(self):
+        fleet, a, b = two_node_fleet()
+        peer, interface = fleet.peer_of("a", "et1/0")
+        assert peer is b and interface == "et1/0"
+
+    def test_double_wire_rejected(self):
+        fleet, a, b = two_node_fleet()
+        fleet.add_device("c", "vendor1")
+        with pytest.raises(DeploymentError, match="already wired"):
+            fleet.wire("a", "et1/0", "c", "et1/0")
+
+    def test_unwire(self):
+        fleet, a, b = two_node_fleet()
+        fleet.unwire("a", "et1/0")
+        assert fleet.peer_of("a", "et1/0") is None
+        assert fleet.peer_of("b", "et1/0") is None
+
+    def test_duplicate_device_rejected(self):
+        fleet, _, _ = two_node_fleet()
+        with pytest.raises(DeploymentError, match="already exists"):
+            fleet.add_device("a", "vendor1")
+
+    def test_get_unknown(self):
+        with pytest.raises(DeploymentError, match="no device"):
+            DeviceFleet().get("ghost")
+
+
+class TestOperStatus:
+    def test_wired_enabled_interfaces_up(self):
+        fleet, a, b = two_node_fleet()
+        assert a.interface_oper_status("et1/0") == "up"
+        assert a.interface_oper_status("ae0") == "up"
+
+    def test_remote_crash_brings_link_down(self):
+        fleet, a, b = two_node_fleet()
+        b.crash()
+        assert a.interface_oper_status("et1/0") == "down"
+        assert a.interface_oper_status("ae0") == "down"
+
+    def test_remote_unconfigured_brings_link_down(self):
+        fleet, a, b = two_node_fleet()
+        b.commit("system {\n    host-name b;\n}\n")  # et1/0 gone
+        assert a.interface_oper_status("et1/0") == "down"
+
+
+class TestLldp:
+    def test_neighbors_visible(self):
+        fleet, a, b = two_node_fleet()
+        neighbors = a.lldp_neighbors()
+        assert neighbors == [
+            {
+                "local_interface": "et1/0",
+                "neighbor_device": "b",
+                "neighbor_interface": "et1/0",
+            }
+        ]
+
+    def test_crashed_neighbor_disappears(self):
+        fleet, a, b = two_node_fleet()
+        b.crash()
+        assert a.lldp_neighbors() == []
+
+
+class TestBgpState:
+    def test_established_both_ways(self):
+        fleet, a, b = two_node_fleet()
+        assert fleet.bgp_session_state(a, "10.0.0.1") == "established"
+        assert fleet.bgp_session_state(b, "10.0.0.0") == "established"
+        assert fleet.all_bgp_established()
+
+    def test_idle_when_peer_ip_unknown(self):
+        fleet, a, b = two_node_fleet()
+        assert fleet.bgp_session_state(a, "10.9.9.9") == "idle"
+
+    def test_active_when_one_sided(self):
+        """The cross-device dependency: both peers must be configured."""
+        fleet, a, b = two_node_fleet()
+        b.commit(
+            "system {\n    host-name b;\n}\n"
+            "interfaces {\n    ae0 {\n        unit 0 {\n"
+            "            family inet {\n                addr 10.0.0.1/31;\n"
+            "            }\n        }\n    }\n"
+            "    et1/0 {\n        gigether-options {\n            802.3ad ae0;\n"
+            "        }\n    }\n}\n"
+        )  # b no longer configures the neighbor back
+        assert fleet.bgp_session_state(a, "10.0.0.1") == "active"
+        assert not fleet.all_bgp_established()
+
+    def test_idle_when_peer_down(self):
+        fleet, a, b = two_node_fleet()
+        b.crash()
+        assert fleet.bgp_session_state(a, "10.0.0.1") == "idle"
+
+    def test_loopback_sessions_need_no_wire(self):
+        fleet = DeviceFleet()
+        a = fleet.add_device("a", "vendor1")
+        b = fleet.add_device("b", "vendor1")
+        for device, local, peer in ((a, "1::1", "1::2"), (b, "1::2", "1::1")):
+            device.commit(
+                f"hostname {device.name}\n"
+                f"interface lo0\n ipv6 addr {local}/128\n!\n"
+                f"router bgp 65000\n neighbor {peer} remote-as 65000\n"
+                f" neighbor {peer} update-source {local}\n!\n"
+            )
+        assert fleet.bgp_session_state(a, "1::2") == "established"
+
+    def test_ip_index_invalidated_on_config_change(self):
+        fleet, a, b = two_node_fleet()
+        assert fleet.device_with_ip("10.0.0.1")[0] is b
+        b.commit("system {\n    host-name b;\n}\n")
+        assert fleet.device_with_ip("10.0.0.1") is None
+
+
+class TestFromFbnet:
+    def test_fleet_matches_desired_state(self, store, env):
+        cluster = build_cluster(
+            store, "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+        )
+        fleet = DeviceFleet.from_fbnet(store)
+        assert len(fleet) == 14
+        assert fleet.get("pop01.c01.pr1").vendor == "vendor1"
+        assert fleet.get("pop01.c01.psw1").vendor == "vendor2"
+        # Wiring matches the circuit objects: every pif has a peer.
+        peer, _ = fleet.peer_of("pop01.c01.pr1", "et1/0")
+        assert peer.name.startswith("pop01.c01.psw")
+
+    def test_provisioned_fleet_converges(self, store, env):
+        from repro.fbnet.models import DrainState
+
+        cluster = build_cluster(
+            store, "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+        )
+        # Devices are born drained; undrain them so sessions may come up.
+        for device in cluster.all_devices():
+            store.update(device, drain_state=DrainState.UNDRAINED)
+        fleet = DeviceFleet.from_fbnet(store)
+        for name, config in ConfigGenerator(store).generate_location(
+            env.pops["pop01"]
+        ).items():
+            fleet.get(name).commit(config.text)
+        assert fleet.all_bgp_established()
+
+    def test_sync_wiring_after_design_change(self, store, env):
+        from repro.design.cluster import decommission_cluster
+
+        cluster = build_cluster(
+            store, "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+        )
+        fleet = DeviceFleet.from_fbnet(store)
+        decommission_cluster(store, cluster.cluster)
+        fleet.sync_wiring(store)
+        assert fleet.peer_of("pop01.c01.pr1", "et1/0") is None

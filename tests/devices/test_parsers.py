@@ -1,0 +1,196 @@
+"""Tests for the vendor config parsers, including generator round-trips."""
+
+import pytest
+
+from repro.configgen.generator import ConfigGenerator
+from repro.design.cluster import build_cluster
+from repro.devices.parsers import ConfigSyntaxError, parse_config
+from repro.fbnet.models import ClusterGeneration
+
+VENDOR1_SAMPLE = """# header comment
+hostname psw1
+ip domain-name example.net
+logging host 2401:db00:ffff::514
+interface ae0
+ mtu 9192
+ description to-pr1
+ ip addr 10.0.0.0/31
+ ipv6 addr 2401:db00::/127
+ no shutdown
+!
+interface et1/0
+ mtu 9192
+ channel-group ae0
+ lacp rate fast
+ no shutdown
+!
+router bgp 65101
+ neighbor 10.0.0.1 remote-as 65501
+ neighbor 10.0.0.1 update-source 10.0.0.0
+ neighbor 10.0.0.1 description upstream
+!
+"""
+
+VENDOR2_SAMPLE = """# header comment
+system {
+    host-name psw1;
+    domain-name example.net;
+    syslog {
+        host 2401:db00:ffff::514;
+    }
+}
+interfaces {
+    ae0 {
+        mtu 9192;
+        description "to-pr1";
+        unit 0 {
+            family inet {
+                addr 10.0.0.0/31;
+            }
+            family inet6 {
+                addr 2401:db00::/127;
+            }
+        }
+    }
+    replace: et1/0 {
+        gigether-options {
+            802.3ad ae0;
+        }
+    }
+}
+protocols {
+    bgp {
+        local-as 65101;
+        neighbor 10.0.0.1 {
+            peer-as 65501;
+            local-address 10.0.0.0;
+            description "upstream";
+        }
+    }
+}
+"""
+
+
+class TestVendor1:
+    def test_parses_sample(self):
+        config = parse_config("vendor1", VENDOR1_SAMPLE)
+        assert config.hostname == "psw1"
+        assert config.domain == "example.net"
+        assert config.syslog_hosts == ["2401:db00:ffff::514"]
+        ae0 = config.interfaces["ae0"]
+        assert ae0.mtu == 9192
+        assert ae0.v4_prefix == "10.0.0.0/31"
+        assert ae0.v6_prefix == "2401:db00::/127"
+        assert ae0.description == "to-pr1"
+        assert config.interfaces["et1/0"].channel_group == "ae0"
+        assert config.bgp_local_asn == 65101
+        neighbor = config.bgp_neighbors["10.0.0.1"]
+        assert neighbor.peer_asn == 65501
+        assert neighbor.local_ip == "10.0.0.0"
+
+    def test_shutdown_state(self):
+        config = parse_config("vendor1", "interface ae0\n shutdown\n!\n")
+        assert not config.interfaces["ae0"].enabled
+
+    def test_rejects_brace_syntax(self):
+        with pytest.raises(ConfigSyntaxError, match="brace"):
+            parse_config("vendor1", "system {\n}\n")
+
+    def test_rejects_unknown_statement(self):
+        with pytest.raises(ConfigSyntaxError, match="unknown statement"):
+            parse_config("vendor1", "frobnicate everything\n")
+
+    def test_rejects_unknown_interface_option(self):
+        with pytest.raises(ConfigSyntaxError, match="unknown interface option"):
+            parse_config("vendor1", "interface ae0\n frobnicate\n!\n")
+
+    def test_rejects_stray_indent(self):
+        with pytest.raises(ConfigSyntaxError, match="stray"):
+            parse_config("vendor1", " floating line\n")
+
+    def test_tunnel_parsing(self):
+        text = (
+            "mpls traffic-eng\n!\ninterface tunnel-te1\n description te-a--b\n"
+            " destination 2401:db00:f::1\n autoroute announce\n!\n"
+        )
+        config = parse_config("vendor1", text)
+        assert config.tunnels == {"tunnel-te1": "2401:db00:f::1"}
+
+
+class TestVendor2:
+    def test_parses_sample(self):
+        config = parse_config("vendor2", VENDOR2_SAMPLE)
+        assert config.hostname == "psw1"
+        assert config.syslog_hosts == ["2401:db00:ffff::514"]
+        ae0 = config.interfaces["ae0"]
+        assert ae0.v4_prefix == "10.0.0.0/31"
+        assert ae0.v6_prefix == "2401:db00::/127"
+        assert ae0.description == "to-pr1"
+        assert config.interfaces["et1/0"].channel_group == "ae0"
+        assert config.bgp_neighbors["10.0.0.1"].peer_asn == 65501
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ConfigSyntaxError, match="unclosed"):
+            parse_config("vendor2", "system {\n    host-name x;\n")
+        with pytest.raises(ConfigSyntaxError, match="unbalanced"):
+            parse_config("vendor2", "}\n")
+
+    def test_statement_must_terminate(self):
+        with pytest.raises(ConfigSyntaxError, match="end with"):
+            parse_config("vendor2", "system {\n    host-name x\n}\n")
+
+    def test_unknown_top_level_block(self):
+        with pytest.raises(ConfigSyntaxError, match="unknown top-level"):
+            parse_config("vendor2", "wibble {\n}\n")
+
+    def test_lsp_parsing(self):
+        text = (
+            "protocols {\n    mpls {\n        label-switched-path te-x {\n"
+            "            to 2401:db00:f::2;\n        }\n    }\n}\n"
+        )
+        config = parse_config("vendor2", text)
+        assert config.tunnels == {"te-x": "2401:db00:f::2"}
+
+
+class TestCrossDialect:
+    def test_unknown_vendor(self):
+        with pytest.raises(ConfigSyntaxError, match="unknown vendor"):
+            parse_config("vendor9", "")
+
+    def test_wrong_dialect_is_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_config("vendor2", VENDOR1_SAMPLE)
+        with pytest.raises(ConfigSyntaxError):
+            parse_config("vendor1", VENDOR2_SAMPLE)
+
+
+class TestGeneratorRoundTrip:
+    """Generated configs must parse back into the data they came from."""
+
+    @pytest.fixture
+    def configs(self, store, env):
+        build_cluster(
+            store, "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+        )
+        return ConfigGenerator(store).generate_location(env.pops["pop01"])
+
+    def test_every_generated_config_parses(self, configs):
+        for config in configs.values():
+            parsed = parse_config(config.vendor, config.text)
+            assert parsed.hostname == config.device_name
+
+    def test_interfaces_round_trip(self, configs):
+        config = configs["pop01.c01.pr1"]
+        parsed = parse_config(config.vendor, config.text)
+        for agg in config.data["aggs"]:
+            stanza = parsed.interfaces[agg["name"]]
+            assert stanza.v6_prefix == agg["v6_prefix"]
+            for pif in agg["pifs"]:
+                assert parsed.interfaces[pif["name"]].channel_group == agg["name"]
+
+    def test_bgp_round_trips(self, configs):
+        config = configs["pop01.c01.psw1"]
+        parsed = parse_config(config.vendor, config.text)
+        assert parsed.bgp_local_asn == config.data["bgp"]["local_asn"]
+        expected = {n["peer_ip"] for n in config.data["bgp"]["neighbors"]}
+        assert set(parsed.bgp_neighbors) == expected

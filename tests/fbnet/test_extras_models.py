@@ -1,0 +1,112 @@
+"""Tests for the optical / AS-allocation / peering / facility models."""
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.fbnet.models import (
+    AsnAllocation,
+    AutonomousSystem,
+    ConsoleServer,
+    DrainEvent,
+    DrainState,
+    IspPeer,
+    MaintenanceWindow,
+    NetworkSwitch,
+    OpticalChannel,
+    OpticalSpan,
+    PeeringLink,
+    PowerFeed,
+)
+
+
+@pytest.fixture
+def device(store, env):
+    return store.create(
+        NetworkSwitch, name="psw1", hardware_profile=env.profiles["Switch_Vendor2"]
+    )
+
+
+class TestOpticalTransport:
+    def test_span_and_channels(self, store, env):
+        span = store.create(
+            OpticalSpan,
+            name="bbs01--bbs02",
+            a_site=env.backbone_sites["bbs01"],
+            z_site=env.backbone_sites["bbs02"],
+            length_km=1200,
+        )
+        store.create(OpticalChannel, span=span, wavelength_nm=1550)
+        store.create(OpticalChannel, span=span, wavelength_nm=1551)
+        assert len(span.optical_channels) == 2
+
+    def test_wavelength_unique_per_span(self, store, env):
+        span = store.create(
+            OpticalSpan, name="s", a_site=env.backbone_sites["bbs01"],
+            z_site=env.backbone_sites["bbs02"],
+        )
+        store.create(OpticalChannel, span=span, wavelength_nm=1550)
+        with pytest.raises(IntegrityError):
+            store.create(OpticalChannel, span=span, wavelength_nm=1550)
+
+    def test_span_delete_cascades_channels(self, store, env):
+        span = store.create(
+            OpticalSpan, name="s", a_site=env.backbone_sites["bbs01"],
+            z_site=env.backbone_sites["bbs02"],
+        )
+        store.create(OpticalChannel, span=span, wavelength_nm=1550)
+        store.delete(span)
+        assert store.count(OpticalChannel) == 0
+
+
+class TestPeeringAndAsn:
+    def test_peering_link_chain(self, store, env):
+        asn = store.create(AutonomousSystem, asn=64512, name="ExampleISP")
+        peer = store.create(IspPeer, name="ExampleISP", autonomous_system=asn)
+        link = store.create(
+            PeeringLink, isp_peer=peer, pop=env.pops["pop01"], kind="transit"
+        )
+        assert link.isp_peer.autonomous_system.asn == 64512
+
+    def test_asn_allocation_unique_per_pop(self, store, env):
+        asn = store.create(AutonomousSystem, asn=65501)
+        store.create(
+            AsnAllocation, autonomous_system=asn, pop=env.pops["pop01"]
+        )
+        with pytest.raises(IntegrityError):
+            store.create(
+                AsnAllocation, autonomous_system=asn, pop=env.pops["pop01"]
+            )
+
+    def test_asn_protected_while_allocated(self, store, env):
+        asn = store.create(AutonomousSystem, asn=65502)
+        store.create(AsnAllocation, autonomous_system=asn, pop=env.pops["pop01"])
+        with pytest.raises(IntegrityError, match="protected"):
+            store.delete(asn)
+
+
+class TestFacilityModels:
+    def test_device_delete_cascades_facility_rows(self, store, env, device):
+        store.create(DrainEvent, device=device, state=DrainState.DRAINED, at=1.0)
+        store.create(
+            MaintenanceWindow, device=device, ticket_id="MW-1",
+            starts_at=0.0, ends_at=3600.0,
+        )
+        store.create(ConsoleServer, name="cs1", device=device, port=7)
+        store.create(PowerFeed, device=device, feed="A", watts=850.0)
+        store.delete(device)
+        for model in (DrainEvent, MaintenanceWindow, ConsoleServer, PowerFeed):
+            assert store.count(model) == 0
+
+    def test_power_feed_unique_per_feed(self, store, device):
+        store.create(PowerFeed, device=device, feed="A")
+        store.create(PowerFeed, device=device, feed="B")
+        with pytest.raises(IntegrityError):
+            store.create(PowerFeed, device=device, feed="A")
+
+    def test_drain_events_queryable_by_device(self, store, device):
+        from repro.fbnet.query import Expr, Op
+
+        store.create(DrainEvent, device=device, state=DrainState.DRAINING, at=1.0)
+        store.create(DrainEvent, device=device, state=DrainState.DRAINED, at=2.0)
+        events = store.filter(DrainEvent, Expr("device", Op.EQUAL, device.id))
+        assert [e.state for e in events] == [DrainState.DRAINING, DrainState.DRAINED]

@@ -1,0 +1,185 @@
+"""Tests for multi-region replication and failover (paper section 4.3.3)."""
+
+import pytest
+
+from repro.common.errors import ReplicationError
+from repro.fbnet.query import Expr, Op
+from repro.fbnet.replication import ReplicatedFBNet
+from repro.simulation.clock import EventScheduler
+
+REGIONS = ["na-east", "na-west", "eu-central"]
+
+
+@pytest.fixture
+def cluster():
+    return ReplicatedFBNet(REGIONS, "na-east", EventScheduler(), replication_lag=0.5)
+
+
+class TestBasics:
+    def test_master_region_must_exist(self):
+        with pytest.raises(ValueError):
+            ReplicatedFBNet(REGIONS, "mars")
+
+    def test_duplicate_regions_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedFBNet(["a", "a"], "a")
+
+    def test_writes_forwarded_to_master(self, cluster):
+        client = cluster.client("eu-central")
+        client.create_objects([("Region", {"name": "rx"})])
+        assert cluster.master.store.count.__self__.total_objects() == 1
+
+    def test_unknown_client_region(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.client("mars")
+
+
+class TestAsyncReplication:
+    def test_lag_before_visibility(self, cluster):
+        client = cluster.client("na-west")
+        client.create_objects([("Region", {"name": "rx"})])
+        assert client.count("Region") == 0  # local replica hasn't caught up
+        cluster.scheduler.run_for(1.0)
+        assert client.count("Region") == 1
+
+    def test_read_after_write_consistency(self, cluster):
+        client = cluster.client("na-west")
+        client.create_objects([("Region", {"name": "rx"})])
+        # Master-region read replicas serve read-after-write clients.
+        assert client.count("Region", consistency="read-after-write") == 1
+
+    def test_measured_lag(self, cluster):
+        client = cluster.client("na-west")
+        client.create_objects([("Region", {"name": "rx"})])
+        cluster.scheduler.clock.advance(0.3)
+        assert cluster.measured_lag("na-west") == pytest.approx(0.3)
+        cluster.scheduler.run_for(0.3)
+        assert cluster.measured_lag("na-west") == 0.0
+
+    def test_updates_and_deletes_replicate(self, cluster):
+        client = cluster.client("na-east")
+        (rid,) = client.create_objects([("Region", {"name": "rx"})])
+        client.update_objects([("Region", rid, {"name": "ry"})])
+        cluster.scheduler.run_for(1.0)
+        west = cluster.client("na-west")
+        rows = west.get("Region", fields=["name"])
+        assert rows[0]["name"] == "ry"
+        client.delete_objects([("Region", rid)])
+        cluster.scheduler.run_for(1.0)
+        assert west.count("Region") == 0
+
+
+class TestReplicaFailure:
+    def test_disabled_replica_reads_from_master(self, cluster):
+        client = cluster.client("na-west")
+        client.create_objects([("Region", {"name": "rx"})])
+        cluster.disable_database("na-west")
+        # Without waiting for replication, reads see master data.
+        assert client.count("Region") == 1
+
+    def test_recovery_resyncs_and_reattaches(self, cluster):
+        client = cluster.client("na-west")
+        client.create_objects([("Region", {"name": "rx"})])
+        cluster.disable_database("na-west")
+        client.create_objects([("Region", {"name": "ry"})])
+        cluster.scheduler.run_for(1.0)  # batches arrive into the backlog
+        cluster.recover_database("na-west")
+        assert cluster.regions["na-west"].store.total_objects() == 2
+        assert client.count("Region") == 2
+
+    def test_high_lag_disables_replica(self):
+        cluster = ReplicatedFBNet(
+            REGIONS, "na-east", EventScheduler(), replication_lag=100.0, max_lag=30.0
+        )
+        client = cluster.client("na-east")
+        client.create_objects([("Region", {"name": "rx"})])
+        cluster.scheduler.clock.advance(31.0)
+        disabled = cluster.check_health()
+        assert set(disabled) == {"na-west", "eu-central"}
+        assert not cluster.regions["na-west"].db_healthy
+
+
+class TestServiceReplicaFailure:
+    def test_redirect_within_region(self, cluster):
+        client = cluster.client("na-west")
+        cluster.regions["na-west"].read_replicas[0].crash()
+        assert client.count("Region") == 0  # second local replica serves
+
+    def test_redirect_to_neighbor_region(self, cluster):
+        client = cluster.client("na-west")
+        for replica in cluster.regions["na-west"].read_replicas:
+            replica.crash()
+        assert client.count("Region") == 0  # nearest live region serves
+
+    def test_all_read_replicas_down(self, cluster):
+        client = cluster.client("na-west")
+        for region in cluster.regions.values():
+            for replica in region.read_replicas:
+                replica.crash()
+        with pytest.raises(ReplicationError, match="no live"):
+            client.count("Region")
+
+
+class TestMasterFailover:
+    def test_writes_fail_while_master_down(self, cluster):
+        cluster.fail_master()
+        client = cluster.client("na-west")
+        with pytest.raises(ReplicationError):
+            client.create_objects([("Region", {"name": "rx"})])
+
+    def test_promote_nearest(self, cluster):
+        client = cluster.client("na-east")
+        client.create_objects([("Region", {"name": "rx"})])
+        cluster.scheduler.run_for(1.0)
+        cluster.fail_master()
+        new_master = cluster.promote_nearest()
+        assert new_master == "na-west"  # nearest by region order
+        assert cluster.promotions[-1][1:] == ("na-east", "na-west")
+
+    def test_writes_resume_after_promotion(self, cluster):
+        client = cluster.client("eu-central")
+        client.create_objects([("Region", {"name": "rx"})])
+        cluster.scheduler.run_for(1.0)
+        cluster.fail_master()
+        cluster.promote_nearest()
+        client.create_objects([("Region", {"name": "ry"})])
+        cluster.scheduler.run_for(1.0)
+        assert client.count("Region") == 2
+
+    def test_new_master_ships_to_replicas(self, cluster):
+        cluster.fail_master()
+        cluster.promote_nearest()
+        client = cluster.client("na-west")
+        client.create_objects([("Region", {"name": "rz"})])
+        cluster.scheduler.run_for(1.0)
+        eu = cluster.regions["eu-central"].store
+        assert eu.total_objects() == 1
+
+    def test_old_master_rejoins_as_replica(self, cluster):
+        client = cluster.client("na-east")
+        client.create_objects([("Region", {"name": "rx"})])
+        cluster.scheduler.run_for(1.0)
+        cluster.fail_master()
+        cluster.promote_nearest()
+        client2 = cluster.client("na-west")
+        client2.create_objects([("Region", {"name": "ry"})])
+        cluster.rejoin_old_master("na-east")
+        assert cluster.regions["na-east"].store.total_objects() == 2
+        assert cluster.regions["na-east"].db_healthy
+
+    def test_promotion_requires_healthy_replica(self, cluster):
+        cluster.fail_master()
+        cluster.regions["na-west"].db_healthy = False
+        cluster.regions["eu-central"].db_healthy = False
+        with pytest.raises(ReplicationError, match="no healthy replica"):
+            cluster.promote_nearest()
+
+    def test_in_flight_to_promoted_region_tail_loss(self, cluster):
+        """Asynchronous replication can lose the in-flight tail on failover."""
+        client = cluster.client("na-east")
+        client.create_objects([("Region", {"name": "rx"})])
+        # Master dies before the batch's lag elapses anywhere.
+        cluster.fail_master()
+        cluster.promote_nearest()
+        cluster.scheduler.run_for(1.0)
+        assert cluster.regions["na-west"].store.total_objects() == 0

@@ -1,0 +1,123 @@
+"""Tests for the Thrift-like RPC service layer."""
+
+import pytest
+
+from repro.common.errors import RpcError
+from repro.fbnet.models import Region
+from repro.fbnet.query import Expr, Op
+from repro.fbnet.rpc import (
+    RpcRequest,
+    RpcResponse,
+    ServiceReplica,
+    decode_message,
+    encode_message,
+)
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        payload = {"a": [1, 2, {"b": "c"}], "n": None}
+        assert decode_message(encode_message(payload)) == payload
+
+    def test_truncated_header(self):
+        with pytest.raises(RpcError, match="truncated"):
+            decode_message(b"\x01\x00")
+
+    def test_truncated_body(self):
+        wire = encode_message({"x": 1})
+        with pytest.raises(RpcError, match="truncated RPC body"):
+            decode_message(wire[:-2])
+
+    def test_bad_version(self):
+        wire = bytearray(encode_message({"x": 1}))
+        wire[0] = 9
+        with pytest.raises(RpcError, match="version"):
+            decode_message(bytes(wire))
+
+    def test_non_object_body_rejected(self):
+        body = b"[1,2]"
+        wire = b"\x01" + len(body).to_bytes(4, "big") + body
+        with pytest.raises(RpcError, match="object"):
+            decode_message(wire)
+
+    def test_request_round_trip(self):
+        request = RpcRequest("read", "get", {"model": "Region"})
+        revived = RpcRequest.from_wire(request.to_wire())
+        assert revived == request
+
+    def test_response_result_raises_on_error(self):
+        response = RpcResponse(ok=False, error="kaput")
+        with pytest.raises(RpcError, match="kaput"):
+            response.result()
+
+
+class TestServiceReplica:
+    def test_read_replica_serves_get(self, store):
+        store.create(Region, name="r1")
+        replica = ServiceReplica("read-0", "na", "read", store)
+        request = RpcRequest(
+            "read", "get",
+            {"model": "Region", "fields": ["name"],
+             "query": Expr("name", Op.EQUAL, "r1").to_wire()},
+        )
+        response = RpcResponse.from_wire(replica.handle(request.to_wire()))
+        assert response.result()[0]["name"] == "r1"
+        assert replica.served == 1
+
+    def test_write_replica_creates(self, store):
+        replica = ServiceReplica("write-0", "na", "write", store)
+        request = RpcRequest(
+            "write", "create_objects", {"specs": [["Region", {"name": "r1"}]]}
+        )
+        response = RpcResponse.from_wire(replica.handle(request.to_wire()))
+        assert response.ok
+        assert store.count(Region) == 1
+
+    def test_ref_revival_through_json(self, store):
+        replica = ServiceReplica("write-0", "na", "write", store)
+        request = RpcRequest(
+            "write", "create_objects",
+            {"specs": [
+                ["Region", {"name": "r1"}],
+                ["Pop", {"name": "p1", "region": ["$ref", 0], "domain": "pop"}],
+            ]},
+        )
+        # Full wire round-trip: tuples become lists and must be revived.
+        request = RpcRequest.from_wire(request.to_wire())
+        response = RpcResponse.from_wire(replica.handle(request.to_wire()))
+        assert response.ok, response.error
+
+    def test_crashed_replica_refuses(self, store):
+        replica = ServiceReplica("read-0", "na", "read", store)
+        replica.crash()
+        with pytest.raises(RpcError, match="down"):
+            replica.handle(RpcRequest("read", "schema").to_wire())
+        replica.recover()
+        assert RpcResponse.from_wire(
+            replica.handle(RpcRequest("read", "schema").to_wire())
+        ).ok
+
+    def test_wrong_service_kind(self, store):
+        replica = ServiceReplica("read-0", "na", "read", store)
+        with pytest.raises(RpcError, match="read service"):
+            replica.handle(RpcRequest("write", "create_objects", {}).to_wire())
+
+    def test_dispatch_error_surfaced_in_response(self, store):
+        replica = ServiceReplica("write-0", "na", "write", store)
+        request = RpcRequest(
+            "write", "create_objects",
+            {"specs": [["Region", {"name": "r1"}], ["Region", {"name": "r1"}]]},
+        )
+        response = RpcResponse.from_wire(replica.handle(request.to_wire()))
+        assert not response.ok
+        assert "unique" in response.error
+        assert store.count(Region) == 0  # transaction rolled back
+
+    def test_unknown_method(self, store):
+        replica = ServiceReplica("read-0", "na", "read", store)
+        with pytest.raises(RpcError, match="no method"):
+            replica.handle(RpcRequest("read", "nope").to_wire())
+
+    def test_bad_kind_rejected(self, store):
+        with pytest.raises(ValueError):
+            ServiceReplica("x", "na", "admin", store)

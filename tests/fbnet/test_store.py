@@ -1,0 +1,283 @@
+"""Tests for the transactional object store."""
+
+import pytest
+
+from repro.common.errors import (
+    IntegrityError,
+    ObjectDoesNotExist,
+)
+from repro.fbnet.models import (
+    AggregatedInterface,
+    Circuit,
+    Device,
+    Linecard,
+    NetworkDomain,
+    PeeringRouter,
+    NetworkSwitch,
+    Pop,
+    Region,
+    V6Prefix,
+)
+from repro.fbnet.query import Expr, Op
+from repro.fbnet.store import ChangeOp, ObjectStore
+
+
+@pytest.fixture
+def pr(store, env):
+    return store.create(
+        PeeringRouter,
+        name="pr1",
+        hardware_profile=env.profiles["Router_Vendor1"],
+        pop=env.pops["pop01"],
+    )
+
+
+class TestCrud:
+    def test_create_assigns_id(self, store):
+        region = store.create(Region, name="r1")
+        assert region.id is not None
+        assert store.get(Region, region.id) is region
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(ObjectDoesNotExist):
+            store.get(Region, 999)
+
+    def test_update_persists(self, store, env, pr):
+        store.update(pr, name="pr1-renamed")
+        assert store.get(PeeringRouter, pr.id).name == "pr1-renamed"
+
+    def test_update_unknown_field_rejected(self, store, pr):
+        with pytest.raises(IntegrityError, match="no field"):
+            store.update(pr, bogus=1)
+
+    def test_delete_removes(self, store):
+        region = store.create(Region, name="r1")
+        rid = region.id
+        store.delete(region)
+        assert region.id is None
+        with pytest.raises(ObjectDoesNotExist):
+            store.get(Region, rid)
+
+    def test_delete_unsaved_raises(self, store):
+        with pytest.raises(ObjectDoesNotExist):
+            store.delete(Region(name="x"))
+
+    def test_cross_store_save_rejected(self, store):
+        other = ObjectStore("other")
+        region = other.create(Region, name="r1")
+        with pytest.raises(IntegrityError, match="different store"):
+            store.save(region)
+
+
+class TestSubclassTables:
+    def test_all_spans_subclasses(self, store, env):
+        store.create(
+            PeeringRouter, name="pr1",
+            hardware_profile=env.profiles["Router_Vendor1"], pop=env.pops["pop01"],
+        )
+        store.create(
+            NetworkSwitch, name="psw1",
+            hardware_profile=env.profiles["Switch_Vendor2"],
+        )
+        names = [d.name for d in store.all(Device)]
+        assert names == ["pr1", "psw1"]
+
+    def test_get_via_base_class(self, store, env, pr):
+        assert store.get(Device, pr.id) is pr
+
+    def test_unique_across_family(self, store, env, pr):
+        # Device.name is unique across the whole device family.
+        with pytest.raises(IntegrityError, match="unique"):
+            store.create(
+                NetworkSwitch, name="pr1",
+                hardware_profile=env.profiles["Switch_Vendor2"],
+            )
+
+
+class TestConstraints:
+    def test_fk_must_exist(self, store):
+        with pytest.raises(IntegrityError, match="no Region"):
+            store.create(Pop, name="p", region=12345, domain=NetworkDomain.POP)
+
+    def test_unique_field(self, store):
+        store.create(Region, name="r1")
+        with pytest.raises(IntegrityError, match="unique"):
+            store.create(Region, name="r1")
+
+    def test_unique_together(self, store, env, pr):
+        lcm = env.profiles["Router_Vendor1"].related("linecard_model")
+        store.create(Linecard, device=pr, slot=1, linecard_model=lcm)
+        with pytest.raises(IntegrityError, match="unique_together"):
+            store.create(Linecard, device=pr, slot=1, linecard_model=lcm)
+
+    def test_unique_allows_update_in_place(self, store):
+        region = store.create(Region, name="r1")
+        store.update(region, name="r1")  # same value, same row: fine
+
+
+class TestDeletePolicies:
+    def test_protect_blocks(self, store, env):
+        with pytest.raises(IntegrityError, match="protected"):
+            store.delete(env.pops["pop01"].related("region"))
+
+    def test_cascade_follows(self, store, env, pr):
+        lcm = env.profiles["Router_Vendor1"].related("linecard_model")
+        lc = store.create(Linecard, device=pr, slot=1, linecard_model=lcm)
+        from repro.fbnet.models import PhysicalInterface
+
+        pif = store.create(PhysicalInterface, name="et1/0", linecard=lc, port=0)
+        store.delete(pr)
+        assert store.count(Linecard) == 0
+        assert store.count(PhysicalInterface) == 0
+
+    def test_set_null_clears(self, store, env, pr):
+        agg = store.create(AggregatedInterface, name="ae0", device=pr, number=0)
+        lcm = env.profiles["Router_Vendor1"].related("linecard_model")
+        lc = store.create(Linecard, device=pr, slot=1, linecard_model=lcm)
+        from repro.fbnet.models import PhysicalInterface
+
+        pif = store.create(
+            PhysicalInterface, name="et1/0", linecard=lc, port=0, agg_interface=agg
+        )
+        store.delete(agg)
+        assert pif.agg_interface is None
+        assert store.get(PhysicalInterface, pif.id) is pif
+
+    def test_cascade_reaches_prefixes(self, store, env, pr):
+        agg = store.create(AggregatedInterface, name="ae0", device=pr, number=0)
+        store.create(V6Prefix, prefix="2401:db00::1/127", interface=agg)
+        store.delete(agg)
+        assert store.count(V6Prefix) == 0
+
+
+class TestTransactions:
+    def test_rollback_on_exception(self, store):
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.create(Region, name="r1")
+                raise RuntimeError("boom")
+        assert store.count(Region) == 0
+
+    def test_rollback_restores_updates(self, store):
+        region = store.create(Region, name="r1")
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.update(region, name="r2")
+                raise RuntimeError("boom")
+        assert region.name == "r1"
+        assert store.first(Region, Expr("name", Op.EQUAL, "r1")) is region
+
+    def test_rollback_restores_deletes(self, store):
+        region = store.create(Region, name="r1")
+        rid = region.id
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.delete(region)
+                raise RuntimeError("boom")
+        restored = store.get(Region, rid)
+        assert restored.name == "r1"
+
+    def test_nested_transactions_join(self, store):
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.create(Region, name="outer")
+                with store.transaction():
+                    store.create(Region, name="inner")
+                raise RuntimeError("boom")
+        assert store.count(Region) == 0
+
+    def test_commit_is_atomic_in_journal(self, store):
+        with store.transaction() as txn_id:
+            store.create(Region, name="a")
+            store.create(Region, name="b")
+        records = store.journal
+        assert {r.txn_id for r in records} == {txn_id}
+        assert len(records) == 2
+
+    def test_rollback_keeps_reverse_index_consistent(self, store, env):
+        pop = env.pops["pop01"]
+        region = pop.related("region")
+        before = len(region.pops)
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.create(
+                    Pop, name="tmp", region=region, domain=NetworkDomain.POP
+                )
+                raise RuntimeError("boom")
+        assert len(region.pops) == before
+
+
+class TestJournal:
+    def test_journal_records_ops(self, store):
+        region = store.create(Region, name="r1")
+        store.update(region, name="r2")
+        store.delete(region)
+        ops = [r.op for r in store.journal]
+        assert ops == [ChangeOp.CREATE, ChangeOp.UPDATE, ChangeOp.DELETE]
+
+    def test_update_records_changed_fields(self, store):
+        region = store.create(Region, name="r1")
+        store.update(region, name="r2")
+        update = store.journal[-1]
+        assert update.changed_fields == ("name",)
+
+    def test_journal_since(self, store):
+        store.create(Region, name="r1")
+        pos = store.journal_position
+        store.create(Region, name="r2")
+        tail = store.journal_since(pos)
+        assert len(tail) == 1 and tail[0].values["name"] == "r2"
+
+    def test_commit_listener_receives_batches(self, store):
+        batches = []
+        store.add_commit_listener(batches.append)
+        with store.transaction():
+            store.create(Region, name="a")
+            store.create(Region, name="b")
+        assert len(batches) == 1 and len(batches[0]) == 2
+
+    def test_rolled_back_ops_never_reach_listeners(self, store):
+        batches = []
+        store.add_commit_listener(batches.append)
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.create(Region, name="a")
+                raise RuntimeError("boom")
+        assert batches == []
+
+
+class TestApplyRecord:
+    def test_replication_round_trip(self, store):
+        replica = ObjectStore("replica")
+        region = store.create(Region, name="r1")
+        store.update(region, name="r2")
+        for record in store.journal:
+            replica.apply_record(record)
+        copy = replica.get(Region, region.id)
+        assert copy.name == "r2"
+
+    def test_ids_preserved_and_counter_advanced(self, store):
+        replica = ObjectStore("replica")
+        region = store.create(Region, name="r1")
+        for record in store.journal:
+            replica.apply_record(record)
+        fresh = replica.create(Region, name="r2")
+        assert fresh.id > region.id
+
+    def test_delete_replicates(self, store):
+        replica = ObjectStore("replica")
+        region = store.create(Region, name="r1")
+        store.delete(region)
+        for record in store.journal:
+            replica.apply_record(record)
+        assert replica.count(Region) == 0
+
+
+class TestIntrospection:
+    def test_table_sizes(self, store):
+        store.create(Region, name="r1")
+        store.create(Region, name="r2")
+        assert store.table_sizes() == {"Region": 2}
+
+    def test_total_objects(self, store, env):
+        assert store.total_objects() > 10  # the seeded catalog

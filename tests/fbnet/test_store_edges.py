@@ -1,0 +1,128 @@
+"""Edge-case tests for the store: replication records, index fast paths."""
+
+import pytest
+
+from repro.common.errors import TransactionError
+from repro.fbnet.models import (
+    NetworkSwitch,
+    PhysicalInterface,
+    Pop,
+    Region,
+)
+from repro.fbnet.query import And, Expr, Op
+from repro.fbnet.store import ChangeOp, ChangeRecord, ObjectStore
+
+
+class TestApplyRecordEdges:
+    def test_update_for_missing_object_raises(self, store):
+        record = ChangeRecord(
+            txn_id=1, op=ChangeOp.UPDATE, model="Region", obj_id=99,
+            values={"name": "ghost"},
+        )
+        with pytest.raises(TransactionError, match="missing"):
+            store.apply_record(record)
+
+    def test_delete_for_missing_object_is_idempotent(self, store):
+        record = ChangeRecord(
+            txn_id=1, op=ChangeOp.DELETE, model="Region", obj_id=99,
+        )
+        store.apply_record(record)  # no error: deletes replay safely
+
+    def test_replicated_unique_index_works(self, store):
+        replica = ObjectStore("replica")
+        store.create(Region, name="r1")
+        for record in store.journal:
+            replica.apply_record(record)
+        # The replica's unique index was built by apply_record: a clashing
+        # local write is rejected, and indexed lookups work.
+        with pytest.raises(Exception):
+            replica.create(Region, name="r1")
+        assert replica.first(Region, Expr("name", Op.EQUAL, "r1")) is not None
+
+
+class TestIndexedFilterFastPath:
+    """The fast path must agree with brute-force matching exactly."""
+
+    @pytest.fixture
+    def rig(self, store, env):
+        devices = [
+            store.create(
+                NetworkSwitch, name=f"psw{i}",
+                hardware_profile=env.profiles["Switch_Vendor2"],
+            )
+            for i in range(3)
+        ]
+        return devices
+
+    def test_unique_field_lookup(self, store, env, rig):
+        found = store.filter(NetworkSwitch, Expr("name", Op.EQUAL, "psw1"))
+        assert [d.name for d in found] == ["psw1"]
+        assert store.filter(NetworkSwitch, Expr("name", Op.EQUAL, "nope")) == []
+
+    def test_unique_lookup_respects_subtree(self, store, env, rig):
+        from repro.fbnet.models import PeeringRouter
+
+        # psw1 exists in the Device family, but not as a PeeringRouter.
+        assert store.first(PeeringRouter, Expr("name", Op.EQUAL, "psw1")) is None
+
+    def test_unique_lookup_list_rvalue(self, store, env, rig):
+        found = store.filter(
+            NetworkSwitch, Expr("name", Op.EQUAL, ["psw0", "psw2", "ghost"])
+        )
+        assert [d.name for d in found] == ["psw0", "psw2"]
+
+    def test_fk_lookup_with_list(self, store, env, rig):
+        lcm = env.profiles["Switch_Vendor2"].related("linecard_model")
+        from repro.fbnet.models import Linecard
+
+        lcs = [
+            store.create(Linecard, device=d, slot=1, linecard_model=lcm)
+            for d in rig
+        ]
+        found = store.filter(
+            Linecard, Expr("device", Op.EQUAL, [rig[0].id, rig[2].id])
+        )
+        assert {lc.device_id for lc in found} == {rig[0].id, rig[2].id}
+
+    def test_non_equal_ops_fall_back_to_scan(self, store, env, rig):
+        found = store.filter(NetworkSwitch, Expr("name", Op.REGEXP, r"psw[02]"))
+        assert len(found) == 2
+
+    def test_composed_query_falls_back(self, store, env, rig):
+        query = And(
+            Expr("name", Op.EQUAL, "psw1"),
+            Expr("name", Op.STARTSWITH, "psw"),
+        )
+        assert len(store.filter(NetworkSwitch, query)) == 1
+
+    def test_plain_value_field_falls_back(self, store, env, rig):
+        lcm = env.profiles["Switch_Vendor2"].related("linecard_model")
+        from repro.fbnet.models import Linecard
+
+        store.create(Linecard, device=rig[0], slot=4, linecard_model=lcm)
+        found = store.filter(Linecard, Expr("slot", Op.EQUAL, 4))
+        assert len(found) == 1
+
+    def test_fast_path_after_update(self, store, env, rig):
+        store.update(rig[0], name="renamed")
+        assert store.first(NetworkSwitch, Expr("name", Op.EQUAL, "psw0")) is None
+        assert store.first(
+            NetworkSwitch, Expr("name", Op.EQUAL, "renamed")
+        ) is rig[0]
+
+    def test_fast_path_after_rollback(self, store, env, rig):
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.update(rig[0], name="doomed")
+                raise RuntimeError("abort")
+        assert store.first(NetworkSwitch, Expr("name", Op.EQUAL, "psw0")) is rig[0]
+        assert store.first(NetworkSwitch, Expr("name", Op.EQUAL, "doomed")) is None
+
+    def test_fast_path_after_delete(self, store, env, rig):
+        store.delete(rig[1])
+        assert store.first(NetworkSwitch, Expr("name", Op.EQUAL, "psw1")) is None
+        # The freed name is reusable.
+        store.create(
+            NetworkSwitch, name="psw1",
+            hardware_profile=env.profiles["Switch_Vendor2"],
+        )

@@ -1,0 +1,162 @@
+"""End-to-end tests for firewall policies and drain/undrain procedures."""
+
+import pytest
+
+from repro.deploy.maintenance import drain_device, undrain_device
+from repro.deploy.phases import PhaseSpec
+from repro.devices.parsers import parse_config
+from repro.fbnet.models import (
+    AclAction,
+    AclRule,
+    Device,
+    DeviceRole,
+    DrainEvent,
+    DrainState,
+    FirewallPolicy,
+)
+from repro.fbnet.query import Expr, Op
+
+
+@pytest.fixture
+def edge_policy(pop_network):
+    store = pop_network.store
+    policy = store.create(
+        FirewallPolicy,
+        name="edge-in",
+        applies_to_role=DeviceRole.PEERING_ROUTER,
+        description="inbound edge filter",
+    )
+    store.create(
+        AclRule, policy=policy, sequence=10, action=AclAction.DENY,
+        protocol="tcp", source="any", destination="any", port=23,
+        description="no telnet",
+    )
+    store.create(
+        AclRule, policy=policy, sequence=20, action=AclAction.PERMIT,
+        protocol="any",
+    )
+    return policy
+
+
+class TestAclGeneration:
+    def test_policy_lands_only_on_matching_role(self, pop_network, edge_policy):
+        robotron = pop_network
+        pr = robotron.store.first(Device, Expr("name", Op.EQUAL, "pop01.c01.pr1"))
+        psw = robotron.store.first(Device, Expr("name", Op.EQUAL, "pop01.c01.psw1"))
+        pr_config = robotron.generator.generate_device(pr)
+        psw_config = robotron.generator.generate_device(psw)
+        assert "ip access-list edge-in" in pr_config.text
+        assert "edge-in" not in psw_config.text
+
+    def test_acl_round_trips_through_vendor1_parser(self, pop_network, edge_policy):
+        robotron = pop_network
+        pr = robotron.store.first(Device, Expr("name", Op.EQUAL, "pop01.c01.pr1"))
+        config = robotron.generator.generate_device(pr)
+        parsed = parse_config(config.vendor, config.text)
+        rules = parsed.acls["edge-in"]
+        assert rules[0]["sequence"] == 10
+        assert rules[0]["action"] == "deny"
+        assert rules[0]["port"] == 23
+        assert rules[1]["action"] == "permit"
+
+    def test_acl_round_trips_through_vendor2_parser(self, pop_network):
+        robotron = pop_network
+        store = robotron.store
+        policy = store.create(
+            FirewallPolicy, name="fabric-in",
+            applies_to_role=DeviceRole.AGGREGATION_SWITCH,
+        )
+        store.create(
+            AclRule, policy=policy, sequence=5, action=AclAction.DENY,
+            protocol="udp", destination="2401:db00::/32", port=161,
+        )
+        psw = store.first(Device, Expr("name", Op.EQUAL, "pop01.c01.psw1"))
+        config = robotron.generator.generate_device(psw)
+        assert "firewall {" in config.text
+        parsed = parse_config(config.vendor, config.text)
+        assert parsed.acls["fabric-in"][0]["port"] == 161
+
+    def test_acl_change_deploys_in_phases(self, pop_network, edge_policy):
+        """The paper's phased-mode example: firewall rule changes."""
+        robotron = pop_network
+        prs = [
+            robotron.store.first(Device, Expr("name", Op.EQUAL, name))
+            for name in ("pop01.c01.pr1", "pop01.c01.pr2")
+        ]
+        configs = robotron.generator.generate_devices(prs)
+        report = robotron.deployer.phased_deploy(
+            configs,
+            [PhaseSpec(name="canary", percentage=50),
+             PhaseSpec(name="rest", percentage=100)],
+            health_check=lambda batch: True,
+        )
+        assert report.ok
+        running = robotron.fleet.get("pop01.c01.pr1").running_config
+        assert "seq 10 deny tcp any any eq 23" in running
+
+
+class TestDrainUndrain:
+    def test_drain_shuts_sessions_and_undrain_restores(self, pop_network):
+        robotron = pop_network
+        args = (
+            robotron.store, robotron.fleet, robotron.generator, robotron.deployer,
+        )
+        result = drain_device(*args, "pop01.c01.pr1", reason="circuit migration")
+        assert result.state is DrainState.DRAINED
+        assert result.sessions_affected == 8  # v4 + v6 per PSW bundle
+        # The device's sessions are down; the rest of the fabric is fine.
+        pr1 = robotron.fleet.get("pop01.c01.pr1")
+        assert all(e["state"] == "idle" for e in pr1.bgp_summary())
+        psw1 = robotron.fleet.get("pop01.c01.psw1")
+        states = {e["peer_ip"]: e["state"] for e in psw1.bgp_summary()}
+        assert "active" in states.values()  # its session toward pr1
+        assert "established" in states.values()  # its session toward pr2
+
+        result = undrain_device(*args, "pop01.c01.pr1")
+        assert result.state is DrainState.UNDRAINED
+        assert robotron.fleet.all_bgp_established()
+
+    def test_drain_events_audited(self, pop_network):
+        robotron = pop_network
+        args = (
+            robotron.store, robotron.fleet, robotron.generator, robotron.deployer,
+        )
+        drain_device(*args, "pop01.c01.pr2", reason="linecard swap")
+        events = robotron.store.all(DrainEvent)
+        assert events[-1].reason == "linecard swap"
+        assert events[-1].state is DrainState.DRAINED
+
+    def test_drained_device_passes_initial_provision_gate(self, pop_network):
+        """Draining is what legalizes re-provisioning (section 5.3.1)."""
+        robotron = pop_network
+        args = (
+            robotron.store, robotron.fleet, robotron.generator, robotron.deployer,
+        )
+        drain_device(*args, "pop01.c01.pr1")
+        device = robotron.store.first(
+            Device, Expr("name", Op.EQUAL, "pop01.c01.pr1")
+        )
+        config = robotron.generator.generate_device(device)
+        report = robotron.deployer.initial_provision(
+            {"pop01.c01.pr1": config}, store=robotron.store
+        )
+        assert report.ok
+
+    def test_drain_config_is_incremental(self, pop_network):
+        """Draining only touches the BGP stanzas, not the whole config."""
+        robotron = pop_network
+        args = (
+            robotron.store, robotron.fleet, robotron.generator, robotron.deployer,
+        )
+        result = drain_device(*args, "pop01.c01.pr1")
+        assert 0 < result.config_lines_changed <= 10
+
+    def test_unknown_device_rejected(self, pop_network):
+        from repro.common.errors import DeploymentError
+
+        robotron = pop_network
+        with pytest.raises(DeploymentError, match="no device"):
+            drain_device(
+                robotron.store, robotron.fleet, robotron.generator,
+                robotron.deployer, "ghost",
+            )

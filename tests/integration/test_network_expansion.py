@@ -1,0 +1,55 @@
+"""Growing a live network: a second cluster joins a monitored deployment."""
+
+import pytest
+
+from repro.fbnet.models import ClusterGeneration, DerivedDevice, Device
+
+
+class TestSecondCluster:
+    def test_expansion_without_cross_talk(self, pop_network):
+        """Build pop02 while pop01 runs; both converge, neither disturbs
+        the other, and monitoring sweeps the union."""
+        robotron = pop_network
+        env = robotron.env
+        pop01_configs = {
+            name: robotron.fleet.get(name).running_config
+            for name in sorted(robotron.fleet.devices)
+        }
+
+        cluster2 = robotron.build_cluster(
+            "pop02.c01", env.pops["pop02"], ClusterGeneration.POP_GEN2,
+            employee_id="e2", ticket_id="NET-2",
+        )
+        # The new devices join the existing emulated fleet.
+        for device in cluster2.all_devices():
+            robotron.fleet.add_device(
+                device.name, device.vendor().value, role=device.role.value
+            )
+        robotron.fleet.sync_wiring(robotron.store)
+        report = robotron.provision_cluster(cluster2)
+        assert report.ok
+
+        # pop01's running configs were untouched by pop02's turn-up.
+        for name, before in pop01_configs.items():
+            assert robotron.fleet.get(name).running_config == before
+
+        assert robotron.fleet.all_bgp_established()
+        robotron.run_minutes(10)
+        assert robotron.store.count(DerivedDevice) == 28  # 14 + 14
+        assert robotron.audit().clean
+
+    def test_sync_wiring_preserves_live_links(self, pop_network):
+        robotron = pop_network
+        assert robotron.fleet.all_bgp_established()
+        robotron.fleet.sync_wiring(robotron.store)  # idempotent re-derivation
+        assert robotron.fleet.all_bgp_established()
+
+    def test_address_pools_shared_without_conflict(self, pop_network):
+        from repro.design.validation import validate
+
+        robotron = pop_network
+        env = robotron.env
+        robotron.build_cluster(
+            "pop02.c01", env.pops["pop02"], ClusterGeneration.POP_GEN1,
+        )
+        assert validate(robotron.store) == []

@@ -1,0 +1,103 @@
+"""Tests for metric-threshold alerting and metric-gated phased deploys."""
+
+import pytest
+
+from repro.monitoring.alerts import MetricAlertRule, MetricMonitor
+from repro.monitoring.backends import TimeSeriesBackend
+
+
+@pytest.fixture
+def tsdb():
+    backend = TimeSeriesBackend()
+    backend.series[("d1", "cpu")].append((0.0, 0.35))
+    backend.series[("d1", "memory")].append((0.0, 0.50))
+    backend.series[("d1", "interfaces_up")].append((0.0, 8.0))
+    backend.series[("d2", "cpu")].append((0.0, 0.97))
+    return backend
+
+
+class TestRules:
+    def test_comparators(self):
+        rule = MetricAlertRule("r", "cpu", ">", 0.9)
+        assert rule.breached(0.95)
+        assert not rule.breached(0.9)
+        assert MetricAlertRule("r", "x", "<=", 1.0).breached(1.0)
+
+    def test_unknown_comparator(self):
+        with pytest.raises(ValueError):
+            MetricAlertRule("r", "cpu", "~", 0.9)
+
+
+class TestMonitor:
+    def test_healthy_device_fires_nothing(self, tsdb):
+        monitor = MetricMonitor(tsdb)
+        assert monitor.evaluate_device("d1") == []
+        assert monitor.healthy(["d1"])
+
+    def test_breach_fires_and_notifies(self, tsdb):
+        notified = []
+        monitor = MetricMonitor(tsdb, notifier=notified.append)
+        fired = monitor.evaluate_device("d2", at=42.0)
+        assert fired[0].rule == "cpu-high"
+        assert fired[0].value == 0.97
+        assert notified == fired
+        assert not monitor.healthy(["d1", "d2"])
+
+    def test_missing_metric_is_not_a_breach(self, tsdb):
+        monitor = MetricMonitor(tsdb)
+        assert monitor.evaluate_device("ghost") == []
+
+    def test_interfaces_down_rule(self, tsdb):
+        tsdb.series[("d3", "interfaces_up")].append((0.0, 0.0))
+        monitor = MetricMonitor(tsdb)
+        fired = monitor.evaluate_device("d3")
+        assert [alert.rule for alert in fired] == ["interfaces-down"]
+
+
+class TestMetricGatedPhasing:
+    def test_phased_deploy_halts_on_metric_breach(self, pop_network):
+        """End to end: the canary's collected metrics gate the rollout."""
+        robotron = pop_network
+        robotron.run_minutes(2)  # collect real SNMP samples into the tsdb
+        # A rule tight enough that every real device breaches it.
+        monitor = MetricMonitor(
+            robotron.tsdb,
+            rules=[MetricAlertRule("cpu-any", "cpu", ">", 0.0)],
+            notifier=lambda alert: robotron.notifications.append(
+                f"metric alert {alert.rule} on {alert.device}"
+            ),
+        )
+        configs = {
+            name: robotron.generator.golden[name].text.replace("9192", "9100")
+            for name in sorted(robotron.fleet.devices)
+        }
+        from repro.deploy.phases import PhaseSpec
+
+        report = robotron.deployer.phased_deploy(
+            configs,
+            [PhaseSpec(name="canary", percentage=10),
+             PhaseSpec(name="rest", percentage=100)],
+            health_check=monitor.phased_health_check(),
+        )
+        assert len(report.succeeded) == 2  # canary only (ceil of 10% of 14)
+        assert report.skipped
+        assert any("metric alert" in n for n in robotron.notifications)
+
+    def test_phased_deploy_proceeds_when_metrics_fine(self, pop_network):
+        robotron = pop_network
+        robotron.run_minutes(2)
+        monitor = MetricMonitor(robotron.tsdb)  # default, sane thresholds
+        configs = {
+            name: robotron.generator.golden[name].text
+            for name in sorted(robotron.fleet.devices)
+        }
+        from repro.deploy.phases import PhaseSpec
+
+        report = robotron.deployer.phased_deploy(
+            configs,
+            [PhaseSpec(name="canary", percentage=10),
+             PhaseSpec(name="rest", percentage=100)],
+            health_check=monitor.phased_health_check(),
+        )
+        assert report.ok
+        assert len(report.succeeded) == len(configs)

@@ -1,0 +1,109 @@
+"""Tests for syslog collection and classification (Table 3 machinery)."""
+
+import pytest
+
+from repro.fbnet.models import EventSeverity
+from repro.monitoring.classifier import Classifier, SyslogRule, default_rule_table
+from repro.monitoring.syslog import SyslogCollector, SyslogMessage
+
+
+def message(text, device="psw1", tag="EVENT"):
+    return SyslogMessage(device=device, tag=tag, message=text, timestamp=1.0)
+
+
+class TestCollector:
+    def test_normalizes_and_counts(self):
+        collector = SyslogCollector()
+        seen = []
+        collector.subscribe(seen.append)
+        collector({"device": "d1", "tag": "CONFIG", "message": "x", "timestamp": 5})
+        assert collector.received == 1
+        assert seen[0] == SyslogMessage("d1", "CONFIG", "x", 5.0)
+
+    def test_multiple_sinks(self):
+        collector = SyslogCollector()
+        a, b = [], []
+        collector.subscribe(a.append)
+        collector.subscribe(b.append)
+        collector({"device": "d", "tag": "T", "message": "m", "timestamp": 0})
+        assert len(a) == len(b) == 1
+
+    def test_render_format(self):
+        assert message("Link down", device="d1").render() == "<EVENT> d1: Link down"
+
+
+class TestClassifier:
+    def test_first_match_by_severity_order(self):
+        rules = [
+            SyslogRule("warn-any", r"Alarm", EventSeverity.WARNING),
+            SyslogRule("crit-power", r"Critical Power Alarm", EventSeverity.CRITICAL),
+        ]
+        classifier = Classifier(rules)
+        alert = classifier(message("Critical Power Alarm on PSU1"))
+        # CRITICAL rules are evaluated first even if listed later.
+        assert alert.severity is EventSeverity.CRITICAL
+        assert alert.rule == "crit-power"
+
+    def test_no_match_is_ignored(self):
+        classifier = Classifier(default_rule_table())
+        assert classifier(message("LSP change: recompute")) is None
+        assert classifier.counts[EventSeverity.IGNORED] == 1
+
+    def test_counts_accumulate(self):
+        classifier = Classifier(default_rule_table())
+        classifier(message("Interface ae0 link state down"))
+        classifier(message("Interface ae1 link state down"))
+        classifier(message("something unmatched"))
+        assert classifier.counts[EventSeverity.WARNING] == 2
+        assert classifier.counts[EventSeverity.IGNORED] == 1
+
+    def test_severity_table_percentages(self):
+        classifier = Classifier(default_rule_table())
+        for _ in range(3):
+            classifier(message("unmatched noise"))
+        classifier(message("IP conflict detected"))
+        table = classifier.severity_table()
+        count, pct = table[EventSeverity.IGNORED]
+        assert count == 3 and pct == 75.0
+        assert table[EventSeverity.MINOR] == (1, 25.0)
+
+    def test_rule_count(self):
+        classifier = Classifier(default_rule_table())
+        assert classifier.rule_count(EventSeverity.CRITICAL) == 4
+
+    def test_alert_sinks(self):
+        classifier = Classifier(default_rule_table())
+        alerts = []
+        classifier.on_alert(alerts.append)
+        classifier(message("TCAM error on unit 0"))
+        assert alerts[0].rule == "tcam-errors"
+        assert alerts[0].device == "psw1"
+
+    def test_remediation_hook_fires(self):
+        rules = [
+            SyslogRule(
+                "config-change", r"Configuration changed",
+                EventSeverity.WARNING, remediation="collect-config",
+            )
+        ]
+        classifier = Classifier(rules)
+        remediated = []
+        classifier.register_remediation("collect-config", remediated.append)
+        classifier(message("Configuration changed (commit 3)"))
+        assert len(remediated) == 1
+
+    def test_device_reboot_is_critical(self):
+        classifier = Classifier(default_rule_table())
+        alert = classifier(message("System restarted: psw1 booting", tag="SYSTEM"))
+        assert alert.severity is EventSeverity.CRITICAL
+
+
+class TestEndToEndPassivePipeline:
+    def test_device_to_alert(self, pop_network):
+        """A link-down-ish event flows device → anycast → classifier."""
+        robotron = pop_network
+        device = robotron.fleet.get("pop01.c01.psw1")
+        before = len(robotron.classifier.alerts)
+        device.emit_syslog("EVENT", "Interface ae0 link state down")
+        assert len(robotron.classifier.alerts) == before + 1
+        assert robotron.classifier.alerts[-1].device == "pop01.c01.psw1"

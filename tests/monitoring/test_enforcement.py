@@ -1,0 +1,80 @@
+"""Tests for periodic golden-config enforcement (paper section 8)."""
+
+import pytest
+
+
+def drift(device):
+    if device.vendor == "vendor1":
+        device.commit(device.running_config + "interface et8/8\n shutdown\n!\n")
+    else:
+        device.commit(
+            device.running_config + "interfaces {\n    et8/8 {\n        disable;\n    }\n}\n"
+        )
+
+
+class TestPeriodicEnforcement:
+    def test_old_drift_restored(self, pop_network):
+        robotron = pop_network
+        robotron.confmon.enforce_periodically(600, emergency_window=1800)
+        device = robotron.fleet.get("pop01.c01.psw1")
+        drift(device)
+        golden = robotron.generator.golden[device.name].text
+
+        # Inside the emergency window: the manual change survives sweeps.
+        robotron.run(1200)
+        assert device.running_config != golden
+        # Once the window passes, the next sweep reverts it.
+        robotron.run(1800)
+        assert device.running_config == golden
+
+    def test_fresh_drift_gets_the_emergency_window(self, pop_network):
+        robotron = pop_network
+        robotron.confmon.enforce_periodically(600, emergency_window=3600)
+        device = robotron.fleet.get("pop01.c01.pr1")
+        drift(device)
+        robotron.run(1800)  # three sweeps, all within the window
+        assert device.running_config != robotron.generator.golden[device.name].text
+
+    def test_conforming_devices_untouched(self, pop_network):
+        robotron = pop_network
+        robotron.confmon.enforce_periodically(600, emergency_window=0.0)
+        device = robotron.fleet.get("pop01.c01.psw2")
+        history_before = len(device.config_history)
+        robotron.run(1800)
+        assert len(device.config_history) == history_before
+
+    def test_window_resets_after_restore(self, pop_network):
+        robotron = pop_network
+        robotron.confmon.enforce_periodically(600, emergency_window=900)
+        device = robotron.fleet.get("pop01.c01.psw1")
+        golden = robotron.generator.golden[device.name].text
+        drift(device)
+        # Sweeps at 600 (first sees the drift), 1200, 1800 (age >= 900:
+        # restored).
+        robotron.run(2100)
+        assert device.running_config == golden
+        drift(device)  # drifts again: fresh window
+        robotron.run(600)  # sweep at 2400 first sees it
+        assert device.running_config != golden
+        robotron.run(900)  # sweep at 3600: age 1200 >= 900, restored
+        assert device.running_config == golden
+
+    def test_canceller_stops_enforcement(self, pop_network):
+        robotron = pop_network
+        cancel = robotron.confmon.enforce_periodically(600, emergency_window=0.0)
+        device = robotron.fleet.get("pop01.c01.psw1")
+        cancel()
+        drift(device)
+        robotron.run(3600)
+        assert device.running_config != robotron.generator.golden[device.name].text
+
+    def test_crashed_device_skipped(self, pop_network):
+        robotron = pop_network
+        robotron.confmon.enforce_periodically(600, emergency_window=0.0)
+        device = robotron.fleet.get("pop01.c01.psw1")
+        drift(device)
+        device.crash()
+        robotron.run(1800)  # sweeps must not die on the unreachable device
+        device.boot()
+        robotron.run(600)
+        assert device.running_config == robotron.generator.golden[device.name].text

@@ -1,0 +1,196 @@
+"""Tests for the active monitoring pipeline: jobs, engines, backends."""
+
+import pytest
+
+from repro.common.errors import MonitoringError
+from repro.devices.fleet import DeviceFleet
+from repro.monitoring.backends import (
+    ConfigBackupBackend,
+    DerivedModelBackend,
+    TimeSeriesBackend,
+)
+from repro.monitoring.engines import engine_for
+from repro.monitoring.jobs import JobManager, JobSpec
+from repro.simulation.clock import EventScheduler
+
+
+@pytest.fixture
+def rig():
+    scheduler = EventScheduler()
+    fleet = DeviceFleet(scheduler)
+    v1 = fleet.add_device("d1", "vendor1")
+    v2 = fleet.add_device("d2", "vendor2")
+    v1.commit("hostname d1\ninterface ae0\n no shutdown\n!\n")
+    v2.commit("system {\n    host-name d2;\n}\n")
+    manager = JobManager(fleet, scheduler)
+    return fleet, manager, scheduler
+
+
+class TestEngines:
+    def test_engine_for(self):
+        for name in ("snmp", "cli", "xmlrpc", "thrift"):
+            assert engine_for(name).name == name
+        with pytest.raises(MonitoringError):
+            engine_for("carrier-pigeon")
+
+    def test_poll_counts_events(self, rig):
+        fleet, manager, _ = rig
+        engine = manager.engine("snmp")
+        engine.poll(fleet.get("d1"), "system")
+        engine.poll(fleet.get("d2"), "system")
+        assert engine.events == 2
+
+    def test_capability_gap_counts_error(self, rig):
+        fleet, manager, _ = rig
+        engine = manager.engine("thrift")
+        with pytest.raises(MonitoringError):
+            engine.poll(fleet.get("d1"), "interfaces")  # vendor1: no thrift
+        assert engine.errors == 1 and engine.events == 0
+
+    def test_wrong_data_type(self, rig):
+        fleet, manager, _ = rig
+        with pytest.raises(MonitoringError, match="cannot collect"):
+            manager.engine("snmp").poll(fleet.get("d1"), "lldp")
+
+    def test_cli_lacp_members(self, rig):
+        fleet, manager, _ = rig
+        fleet.get("d1").commit(
+            "hostname d1\ninterface ae0\n no shutdown\n!\n"
+            "interface et1/0\n channel-group ae0\n no shutdown\n!\n"
+        )
+        record = manager.engine("cli").poll(fleet.get("d1"), "lacp-members")
+        assert record["payload"]["ae0"][0]["member"] == "et1/0"
+
+
+class TestJobManager:
+    def test_periodic_job_fires_on_schedule(self, rig):
+        fleet, manager, scheduler = rig
+        tsdb = TimeSeriesBackend()
+        manager.register_backend(tsdb)
+        manager.add_job(JobSpec("sys", "snmp", "system", period=60, backends=("tsdb",)))
+        scheduler.run_for(300)
+        points = tsdb.series[("d1", "cpu")]
+        assert len(points) == 5
+
+    def test_device_filter(self, rig):
+        fleet, manager, scheduler = rig
+        spec = JobSpec(
+            "v2-only", "thrift", "interfaces", period=60,
+            device_filter=lambda d: d.vendor == "vendor2",
+        )
+        manager.add_job(spec)
+        scheduler.run_for(60)
+        assert manager.engine("thrift").events == 1
+        assert manager.failures == []
+
+    def test_unreachable_device_recorded_as_failure(self, rig):
+        fleet, manager, scheduler = rig
+        manager.add_job(JobSpec("sys", "snmp", "system", period=60))
+        fleet.get("d1").crash()
+        scheduler.run_for(60)
+        assert any(device == "d1" for _job, device, _err in manager.failures)
+        # The healthy device was still polled.
+        assert manager.engine("snmp").events == 1
+
+    def test_duplicate_job_rejected(self, rig):
+        _, manager, _ = rig
+        manager.add_job(JobSpec("sys", "snmp", "system", period=60))
+        with pytest.raises(MonitoringError, match="already registered"):
+            manager.add_job(JobSpec("sys", "snmp", "system", period=60))
+
+    def test_remove_job_stops_firing(self, rig):
+        fleet, manager, scheduler = rig
+        manager.add_job(JobSpec("sys", "snmp", "system", period=60))
+        scheduler.run_for(60)
+        fired = manager.engine("snmp").events
+        manager.remove_job("sys")
+        scheduler.run_for(600)
+        assert manager.engine("snmp").events == fired
+
+    def test_adhoc_job(self, rig):
+        fleet, manager, _ = rig
+        record = manager.run_adhoc("cli", "running-config", "d1")
+        assert "hostname d1" in record["payload"]
+
+    def test_unknown_backend_name(self, rig):
+        fleet, manager, _ = rig
+        with pytest.raises(MonitoringError, match="no backend"):
+            manager.run_adhoc("cli", "running-config", "d1", backends=("ghost",))
+
+    def test_event_counts(self, rig):
+        fleet, manager, scheduler = rig
+        manager.add_job(JobSpec("sys", "snmp", "system", period=60))
+        manager.add_job(JobSpec("cfg", "cli", "running-config", period=120))
+        scheduler.run_for(240)
+        counts = manager.event_counts()
+        assert counts["snmp"] == 8  # 4 firings x 2 devices
+        assert counts["cli"] == 4
+
+
+class TestBackends:
+    def test_tsdb_latest(self, rig):
+        fleet, manager, scheduler = rig
+        tsdb = TimeSeriesBackend()
+        manager.register_backend(tsdb)
+        manager.add_job(JobSpec("sys", "snmp", "system", 60, ("tsdb",)))
+        scheduler.run_for(60)
+        assert tsdb.latest("d1", "cpu") is not None
+        assert tsdb.latest("ghost", "cpu") is None
+
+    def test_config_backup_dedupes(self, rig):
+        fleet, manager, scheduler = rig
+        backup = ConfigBackupBackend()
+        manager.register_backend(backup)
+        manager.add_job(
+            JobSpec("cfg", "cli", "running-config", 60, (backup.name,))
+        )
+        scheduler.run_for(180)  # 3 collections, identical config
+        assert backup.revision_count("d1") == 1
+        fleet.get("d1").commit("hostname d1\ninterface ae1\n no shutdown\n!\n")
+        scheduler.run_for(60)
+        assert backup.revision_count("d1") == 2
+        assert "ae1" in backup.latest("d1")
+
+
+class TestDerivedBackend:
+    def test_populates_derived_models(self, store, rig):
+        from repro.fbnet.models import DerivedDevice, DerivedInterface
+
+        fleet, manager, scheduler = rig
+        manager.register_backend(DerivedModelBackend(store, scheduler.clock))
+        manager.add_job(JobSpec("sys", "snmp", "system", 60, ("derived",)))
+        manager.add_job(JobSpec("ifs", "snmp", "interfaces", 60, ("derived",)))
+        scheduler.run_for(60)
+        assert store.count(DerivedDevice) == 2
+        derived = store.all(DerivedInterface)
+        assert {d.device_name for d in derived} == {"d1"}  # d2 has no interfaces
+
+    def test_updates_in_place_on_repoll(self, store, rig):
+        from repro.fbnet.models import DerivedDevice
+
+        fleet, manager, scheduler = rig
+        manager.register_backend(DerivedModelBackend(store, scheduler.clock))
+        manager.add_job(JobSpec("sys", "snmp", "system", 60, ("derived",)))
+        scheduler.run_for(300)
+        assert store.count(DerivedDevice) == 2  # no duplicates
+        latest = store.all(DerivedDevice)[0]
+        assert latest.collected_at == 300.0
+
+    def test_lldp_pairs_become_one_derived_circuit(self, store):
+        from repro.fbnet.models import DerivedCircuit
+
+        scheduler = EventScheduler()
+        fleet = DeviceFleet(scheduler)
+        a = fleet.add_device("a", "vendor1")
+        b = fleet.add_device("b", "vendor1")
+        fleet.wire("a", "et1/0", "b", "et1/0")
+        for device in (a, b):
+            device.commit(
+                f"hostname {device.name}\ninterface et1/0\n no shutdown\n!\n"
+            )
+        manager = JobManager(fleet, scheduler)
+        manager.register_backend(DerivedModelBackend(store, scheduler.clock))
+        manager.add_job(JobSpec("lldp", "cli", "lldp", 60, ("derived",)))
+        scheduler.run_for(120)
+        # Both ends reported each other, but only one circuit object exists.
+        assert store.count(DerivedCircuit) == 1

@@ -1,0 +1,105 @@
+"""Tests for the simulated clock and event scheduler."""
+
+import pytest
+
+from repro.simulation.clock import Clock, EventScheduler
+
+
+class TestClock:
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now == 5.0
+
+    def test_no_time_travel(self):
+        clock = Clock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+
+class TestScheduler:
+    def test_call_at_fires_in_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.call_at(5, lambda: fired.append("b"))
+        scheduler.call_at(3, lambda: fired.append("a"))
+        scheduler.call_at(9, lambda: fired.append("c"))
+        scheduler.run_until(6)
+        assert fired == ["a", "b"]
+        scheduler.run_until(10)
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_among_equal_timestamps(self):
+        scheduler = EventScheduler()
+        fired = []
+        for label in "abc":
+            scheduler.call_at(5, lambda l=label: fired.append(l))
+        scheduler.run_until(5)
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_is_at_event_time_during_callback(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.call_at(7, lambda: seen.append(scheduler.clock.now))
+        scheduler.run_until(100)
+        assert seen == [7]
+        assert scheduler.clock.now == 100
+
+    def test_callback_may_schedule_more(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(scheduler.clock.now)
+            if len(fired) < 3:
+                scheduler.call_after(10, chain)
+
+        scheduler.call_after(10, chain)
+        scheduler.run_until(100)
+        assert fired == [10, 20, 30]
+
+    def test_cancel(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.call_at(5, lambda: fired.append(1))
+        event.cancel()
+        scheduler.run_until(10)
+        assert fired == []
+        assert scheduler.pending == 0
+
+    def test_cannot_schedule_in_past(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(10)
+        with pytest.raises(ValueError):
+            scheduler.call_at(5, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.call_after(-1, lambda: None)
+
+    def test_call_every(self):
+        scheduler = EventScheduler()
+        fired = []
+        cancel = scheduler.call_every(60, lambda: fired.append(scheduler.clock.now))
+        scheduler.run_until(300)
+        assert fired == [60, 120, 180, 240, 300]
+        cancel()
+        scheduler.run_until(600)
+        assert len(fired) == 5
+
+    def test_call_every_first_at(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.call_every(60, lambda: fired.append(scheduler.clock.now), first_at=0)
+        scheduler.run_until(120)
+        assert fired == [0, 60, 120]
+
+    def test_call_every_bad_period(self):
+        with pytest.raises(ValueError):
+            EventScheduler().call_every(0, lambda: None)
+
+    def test_run_until_returns_fired_count(self):
+        scheduler = EventScheduler()
+        scheduler.call_at(1, lambda: None)
+        scheduler.call_at(2, lambda: None)
+        assert scheduler.run_until(5) == 2

@@ -1,0 +1,112 @@
+"""Tests for the experiment workload generators."""
+
+from repro.fbnet.models import ClusterGeneration, EventSeverity
+from repro.monitoring.classifier import Classifier
+from repro.simulation.workloads import (
+    ArchitectureEvolution,
+    DesignChangeWorkload,
+    ModelChurnWorkload,
+    PAPER_RULE_COUNTS,
+    SyslogWorkload,
+)
+
+
+class TestModelChurn:
+    def test_deterministic(self):
+        assert ModelChurnWorkload(seed=1).weekly_lines() == (
+            ModelChurnWorkload(seed=1).weekly_lines()
+        )
+
+    def test_seed_changes_output(self):
+        assert ModelChurnWorkload(seed=1).weekly_lines() != (
+            ModelChurnWorkload(seed=2).weekly_lines()
+        )
+
+    def test_paper_rate_shape(self):
+        """Average exceeds 50 lines/day; refactor spikes exist (Fig 14)."""
+        weekly = ModelChurnWorkload(seed=7).weekly_lines()
+        assert len(weekly) == 156
+        daily_average = sum(weekly) / len(weekly) / 7
+        assert daily_average > 50 / 7  # >50 lines/day is the paper's claim
+        assert max(weekly) > 150  # occasional large refactors
+
+
+class TestSyslogWorkload:
+    def test_rule_table_matches_paper_counts(self):
+        workload = SyslogWorkload()
+        classifier = Classifier(workload.rule_table())
+        for severity, count in PAPER_RULE_COUNTS.items():
+            assert classifier.rule_count(severity) == count
+
+    def test_event_mix_dominated_by_ignored(self):
+        workload = SyslogWorkload(total_events=20_000)
+        classifier = Classifier(workload.rule_table())
+        for message in workload.messages():
+            classifier(message)
+        table = classifier.severity_table()
+        _, ignored_pct = table[EventSeverity.IGNORED]
+        assert ignored_pct > 90
+        _, warning_pct = table[EventSeverity.WARNING]
+        assert 1 < warning_pct < 10
+
+    def test_timestamps_span_a_day(self):
+        messages = SyslogWorkload(total_events=1000).messages()
+        assert 0 <= min(m.timestamp for m in messages)
+        assert max(m.timestamp for m in messages) < 86_400
+
+    def test_deterministic(self):
+        a = [m.message for m in SyslogWorkload(seed=5, total_events=500).messages()]
+        b = [m.message for m in SyslogWorkload(seed=5, total_events=500).messages()]
+        assert a == b
+
+
+class TestDesignChangeWorkload:
+    def test_schedule_rates(self):
+        """Backbone circuit ops dominate, per section 5.1.2's 'hundreds'."""
+        ops = DesignChangeWorkload(seed=3, weeks=52).schedule()
+        kinds = [op.kind for op in ops]
+        circuit_ops = sum(
+            1 for k in kinds if k in ("add_circuit", "migrate_circuit", "delete_circuit")
+        )
+        router_ops = sum(1 for k in kinds if k in ("add_router", "delete_router"))
+        builds = kinds.count("build_cluster")
+        assert circuit_ops > router_ops > 0
+        assert builds > 20  # roughly weekly cluster builds
+        # Monthly rates match the paper's "tens" and "hundreds".
+        assert 4 <= router_ops / 12 <= 40
+        assert 40 <= circuit_ops / 12 <= 400
+
+    def test_domains_partition(self):
+        ops = DesignChangeWorkload(seed=3, weeks=10).schedule()
+        assert {op.domain for op in ops} <= {"pop", "datacenter", "backbone"}
+
+    def test_deterministic(self):
+        a = DesignChangeWorkload(seed=9, weeks=10).schedule()
+        b = DesignChangeWorkload(seed=9, weeks=10).schedule()
+        assert [(o.week, o.kind) for o in a] == [(o.week, o.kind) for o in b]
+
+
+class TestArchitectureEvolution:
+    def test_pop_gen1_builds_early_only(self):
+        ops = ArchitectureEvolution(seed=4).schedule()
+        gen1_builds = [
+            op.week
+            for op in ops
+            if op.kind == "build_cluster"
+            and op.params.get("generation") is ClusterGeneration.POP_GEN1
+        ]
+        assert gen1_builds and max(gen1_builds) < 104 * 0.25
+
+    def test_gen3_builds_late_only(self):
+        ops = ArchitectureEvolution(seed=4).schedule()
+        gen3_builds = [
+            op.week
+            for op in ops
+            if op.params.get("generation") is ClusterGeneration.DC_GEN3
+        ]
+        assert gen3_builds and min(gen3_builds) >= 104 * 0.4
+
+    def test_upgrades_present(self):
+        ops = ArchitectureEvolution(seed=4).schedule()
+        assert any(op.kind == "upgrade_pop_gen2" for op in ops)
+        assert any(op.kind == "decommission_oldest" for op in ops)
