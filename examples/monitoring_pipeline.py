@@ -14,7 +14,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import Robotron, seed_environment
+from repro import Robotron, obs, seed_environment
 from repro.fbnet.models import (
     ClusterGeneration,
     DerivedBgpSession,
@@ -73,6 +73,12 @@ def main() -> None:
     audit = robotron.audit()
     for finding in audit.findings[:4]:
         print(f"finding: {finding.kind}: {finding.subject} — {finding.detail}")
+
+    # Robotron monitors itself too: every store transaction, config
+    # render, deployment, and monitoring job above left ODS-style
+    # counters and trace spans behind in repro.obs.
+    print("\n== Robotron self-telemetry (repro.obs) ==")
+    print(obs.report(max_trace_roots=8))
 
 
 if __name__ == "__main__":

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import math
 import re
 from collections.abc import Iterable, Iterator, Sequence
 from typing import TypeVar
@@ -65,8 +66,6 @@ def percentile(sorted_values: Sequence[float], pct: float) -> float:
         raise ValueError(f"percentile must be in [0, 100], got {pct}")
     if pct == 0:
         return sorted_values[0]
-    import math
-
     rank = min(len(sorted_values), max(1, math.ceil(pct / 100.0 * len(sorted_values))))
     return sorted_values[rank - 1]
 

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any
 
+from repro import obs
 from repro.common.errors import ConfigGenerationError
 from repro.fbnet.base import Model
 from repro.fbnet.store import ObjectStore
@@ -75,8 +77,11 @@ class ConfigGenerator:
         key = (path, version)
         template = self._compiled.get(key)
         if template is None:
+            obs.counter("configgen.template_cache", result="miss").inc()
             template = Template(self.configerator.get(path), name=path)
             self._compiled[key] = template
+        else:
+            obs.counter("configgen.template_cache", result="hit").inc()
         return template
 
     # ------------------------------------------------------------------
@@ -85,6 +90,7 @@ class ConfigGenerator:
 
     def generate_device(self, device: Model) -> DeviceConfig:
         """Generate (and register as golden) one device's full config."""
+        started = perf_counter() if obs.enabled() else None
         data = derive_device_data(self._store, device)
         # Wire round-trip: the data struct is what crosses between the
         # derivation and rendering stages in the paper's pipeline.
@@ -104,18 +110,25 @@ class ConfigGenerator:
             design_position=self._store.journal_position,
         )
         self.golden[device.name] = config
+        obs.counter("configgen.render", vendor=vendor).inc()
+        if started is not None:
+            obs.histogram("configgen.render.latency", vendor=vendor).observe(
+                perf_counter() - started
+            )
         return config
 
     def generate_location(self, location: Model) -> dict[str, DeviceConfig]:
         """Generate configs for every device at a location (Figure 10)."""
-        return {
-            device.name: self.generate_device(device)
-            for device in fetch_location_devices(self._store, location)
-        }
+        with obs.span("configgen.generate", location=location.name):
+            return {
+                device.name: self.generate_device(device)
+                for device in fetch_location_devices(self._store, location)
+            }
 
     def generate_devices(self, devices: list[Model]) -> dict[str, DeviceConfig]:
         """Generate configs for an explicit device list."""
-        return {device.name: self.generate_device(device) for device in devices}
+        with obs.span("configgen.generate", devices=len(devices)):
+            return {device.name: self.generate_device(device) for device in devices}
 
     # ------------------------------------------------------------------
     # Staleness detection (section 8: "Stale Configs")

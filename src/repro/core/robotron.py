@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro import obs
 from repro.common.errors import RobotronError
 from repro.configgen.configerator import Configerator
 from repro.configgen.generator import ConfigGenerator, DeviceConfig
@@ -59,6 +60,9 @@ class Robotron:
         configerator: Configerator | None = None,
     ):
         self.scheduler = scheduler or EventScheduler()
+        # Spans record simulated time alongside wall time (last Robotron
+        # built wins the global tracer's clock — they share it in tests).
+        obs.set_sim_clock(self.scheduler.clock)
         self.store = store or ObjectStore()
         self.generator = ConfigGenerator(self.store, configerator)
         self.backbone = BackboneDesignTool(self.store)
@@ -108,13 +112,16 @@ class Robotron:
         ticket_id: str = "AUTO",
     ) -> MaterializedCluster:
         """Design-change-wrapped cluster build from the generation catalog."""
-        with self.design_change(
-            employee_id=employee_id,
-            ticket_id=ticket_id,
-            description=f"build cluster {name}",
-            domain=location.domain.value,
+        with obs.span(
+            "design.build_cluster", cluster=name, generation=generation.value
         ):
-            return build_cluster(self.store, name, location, generation)
+            with self.design_change(
+                employee_id=employee_id,
+                ticket_id=ticket_id,
+                description=f"build cluster {name}",
+                domain=location.domain.value,
+            ):
+                return build_cluster(self.store, name, location, generation)
 
     # ------------------------------------------------------------------
     # Stage 2 + 3: config generation and deployment
@@ -122,8 +129,9 @@ class Robotron:
 
     def boot_fleet(self) -> DeviceFleet:
         """Instantiate the emulated fleet from FBNet Desired state."""
-        self.fleet = DeviceFleet.from_fbnet(self.store, self.scheduler)
-        self.deployer = Deployer(self.fleet, notifier=self.notifications.append)
+        with obs.span("robotron.boot_fleet"):
+            self.fleet = DeviceFleet.from_fbnet(self.store, self.scheduler)
+            self.deployer = Deployer(self.fleet, notifier=self.notifications.append)
         return self.fleet
 
     def _require_fleet(self) -> DeviceFleet:
@@ -141,22 +149,23 @@ class Robotron:
         """
         fleet = self._require_fleet()
         assert self.deployer is not None
-        configs: dict[str, DeviceConfig] = self.generator.generate_devices(devices)
-        report = self.deployer.initial_provision(configs, store=self.store)
-        undrained = []
-        with self.store.transaction():
-            for device in devices:
-                if device.name in report.succeeded:
-                    self.store.update(
-                        device,
-                        status=DeviceStatus.PRODUCTION,
-                        drain_state=DrainState.UNDRAINED,
-                    )
-                    undrained.append(device)
-        if undrained:
-            undrain_configs = self.generator.generate_devices(undrained)
-            undrain_report = self.deployer.deploy(undrain_configs)
-            report.failed.update(undrain_report.failed)
+        with obs.span("robotron.provision", devices=len(devices)):
+            configs: dict[str, DeviceConfig] = self.generator.generate_devices(devices)
+            report = self.deployer.initial_provision(configs, store=self.store)
+            undrained = []
+            with self.store.transaction():
+                for device in devices:
+                    if device.name in report.succeeded:
+                        self.store.update(
+                            device,
+                            status=DeviceStatus.PRODUCTION,
+                            drain_state=DrainState.UNDRAINED,
+                        )
+                        undrained.append(device)
+            if undrained:
+                undrain_configs = self.generator.generate_devices(undrained)
+                undrain_report = self.deployer.deploy(undrain_configs)
+                report.failed.update(undrain_report.failed)
         return report
 
     def provision_cluster(self, materialized: MaterializedCluster) -> DeployReport:
@@ -172,6 +181,12 @@ class Robotron:
     ) -> None:
         """Stand up passive + active + config monitoring over the fleet."""
         fleet = self._require_fleet()
+        with obs.span("monitoring.attach", jobs=len(job_specs)):
+            self._attach_monitoring(fleet, job_specs)
+
+    def _attach_monitoring(
+        self, fleet: DeviceFleet, job_specs: tuple[JobSpec, ...]
+    ) -> None:
         self.jobs = JobManager(fleet, self.scheduler)
         self.jobs.register_backend(self.tsdb)
         self.jobs.register_backend(DerivedModelBackend(self.store, self.scheduler.clock))
@@ -193,7 +208,10 @@ class Robotron:
 
     def audit(self) -> AuditReport:
         """Desired-vs-Derived anomaly detection over current FBNet state."""
-        return run_audit(self.store)
+        with obs.span("monitoring.audit") as span:
+            report = run_audit(self.store)
+            span.set_attribute("findings", len(report.findings))
+        return report
 
     # ------------------------------------------------------------------
     # Operational workflows

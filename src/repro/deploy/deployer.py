@@ -12,6 +12,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import obs
 from repro.common.errors import DeploymentError
 from repro.configgen.generator import DeviceConfig
 from repro.deploy.diff import count_changed_lines, unified_diff
@@ -59,6 +60,22 @@ class Deployer:
         self._fleet = fleet
         self._notify = notifier or (lambda _msg: None)
 
+    @staticmethod
+    def _account(report: DeployReport) -> DeployReport:
+        """Record one operation's outcome counters into ``repro.obs``."""
+        obs.counter("deploy.operation", op=report.operation).inc()
+        for outcome, count in (
+            ("success", len(report.succeeded)),
+            ("failure", len(report.failed)),
+            ("rollback", len(report.rolled_back)),
+            ("skipped", len(report.skipped)),
+        ):
+            if count:
+                obs.counter(
+                    "deploy.device", op=report.operation, outcome=outcome
+                ).inc(count)
+        return report
+
     # ------------------------------------------------------------------
     # Initial provisioning (section 5.3.1)
     # ------------------------------------------------------------------
@@ -75,21 +92,22 @@ class Deployer:
         FBNet — initial provisioning requires devices carry no traffic.
         """
         report = DeployReport(operation="initial_provision")
-        if store is not None:
-            self._check_drained(configs.keys(), store)
-        for name, config in sorted(configs.items()):
-            device = self._fleet.get(name)
-            text = _config_text(config)
-            try:
-                device.erase()
-                device.copy_config(text)
-                self._basic_validation(device, text)
-            except DeploymentError as exc:
-                report.failed[name] = str(exc)
-                continue
-            report.succeeded.append(name)
-            report.changed_lines[name] = count_changed_lines("", text)
-        return report
+        with obs.span("deploy.initial_provision", devices=len(configs)):
+            if store is not None:
+                self._check_drained(configs.keys(), store)
+            for name, config in sorted(configs.items()):
+                device = self._fleet.get(name)
+                text = _config_text(config)
+                try:
+                    device.erase()
+                    device.copy_config(text)
+                    self._basic_validation(device, text)
+                except DeploymentError as exc:
+                    report.failed[name] = str(exc)
+                    continue
+                report.succeeded.append(name)
+                report.changed_lines[name] = count_changed_lines("", text)
+        return self._account(report)
 
     @staticmethod
     def _check_drained(names, store) -> None:
@@ -129,23 +147,24 @@ class Deployer:
         before/after deployment — here we preview the same information).
         """
         report = DeployReport(operation="dryrun")
-        for name, config in sorted(configs.items()):
-            device = self._fleet.get(name)
-            text = _config_text(config)
-            try:
-                if device.supports_native_dryrun:
-                    diff = device.dryrun(text)
-                else:
-                    diff = unified_diff(device.running_config, text, name)
-            except DeploymentError as exc:
-                report.failed[name] = str(exc)
-                continue
-            report.diffs[name] = diff
-            report.changed_lines[name] = count_changed_lines(
-                device.running_config, text
-            )
-            report.succeeded.append(name)
-        return report
+        with obs.span("deploy.dryrun", devices=len(configs)):
+            for name, config in sorted(configs.items()):
+                device = self._fleet.get(name)
+                text = _config_text(config)
+                try:
+                    if device.supports_native_dryrun:
+                        diff = device.dryrun(text)
+                    else:
+                        diff = unified_diff(device.running_config, text, name)
+                except DeploymentError as exc:
+                    report.failed[name] = str(exc)
+                    continue
+                report.diffs[name] = diff
+                report.changed_lines[name] = count_changed_lines(
+                    device.running_config, text
+                )
+                report.succeeded.append(name)
+        return self._account(report)
 
     # ------------------------------------------------------------------
     # Plain and atomic incremental updates (section 5.3.2)
@@ -154,19 +173,20 @@ class Deployer:
     def deploy(self, configs: Mapping[str, DeviceConfig | str]) -> DeployReport:
         """Best-effort incremental update: failures don't undo successes."""
         report = DeployReport(operation="deploy")
-        for name, config in sorted(configs.items()):
-            device = self._fleet.get(name)
-            text = _config_text(config)
-            before = device.running_config
-            try:
-                device.commit(text)
-            except DeploymentError as exc:
-                report.failed[name] = str(exc)
-                continue
-            report.succeeded.append(name)
-            report.diffs[name] = unified_diff(before, text, name)
-            report.changed_lines[name] = count_changed_lines(before, text)
-        return report
+        with obs.span("deploy.deploy", devices=len(configs)):
+            for name, config in sorted(configs.items()):
+                device = self._fleet.get(name)
+                text = _config_text(config)
+                before = device.running_config
+                try:
+                    device.commit(text)
+                except DeploymentError as exc:
+                    report.failed[name] = str(exc)
+                    continue
+                report.succeeded.append(name)
+                report.diffs[name] = unified_diff(before, text, name)
+                report.changed_lines[name] = count_changed_lines(before, text)
+        return self._account(report)
 
     def atomic_deploy(
         self,
@@ -182,37 +202,39 @@ class Deployer:
         """
         report = DeployReport(operation="atomic_deploy")
         previous: dict[str, str] = {}
-        try:
-            for name, config in sorted(configs.items()):
-                device = self._fleet.get(name)
-                text = _config_text(config)
-                before = device.running_config
-                took = device.commit(text)
-                previous[name] = before
-                if took > time_window:
-                    raise CommitError(
-                        f"{name}: commit took {took:.1f}s, exceeding the "
-                        f"{time_window:.1f}s atomic window"
-                    )
-                report.changed_lines[name] = count_changed_lines(before, text)
-        except DeploymentError as exc:
-            failed_name = str(exc).split(":", 1)[0]
-            report.failed[failed_name] = str(exc)
-            for name, old_text in reversed(list(previous.items())):
-                device = self._fleet.get(name)
-                try:
-                    device.commit(old_text)
-                    report.rolled_back.append(name)
-                except DeploymentError:
-                    # A device that cannot be restored is a page, not a log line.
-                    self._notify(
-                        f"atomic rollback FAILED on {name}; manual intervention needed"
-                    )
-            report.changed_lines.clear()
-            self._notify(f"atomic deployment aborted: {exc}")
-            return report
-        report.succeeded.extend(sorted(configs))
-        return report
+        with obs.span("deploy.atomic_deploy", devices=len(configs)) as span:
+            try:
+                for name, config in sorted(configs.items()):
+                    device = self._fleet.get(name)
+                    text = _config_text(config)
+                    before = device.running_config
+                    took = device.commit(text)
+                    previous[name] = before
+                    if took > time_window:
+                        raise CommitError(
+                            f"{name}: commit took {took:.1f}s, exceeding the "
+                            f"{time_window:.1f}s atomic window"
+                        )
+                    report.changed_lines[name] = count_changed_lines(before, text)
+            except DeploymentError as exc:
+                failed_name = str(exc).split(":", 1)[0]
+                report.failed[failed_name] = str(exc)
+                for name, old_text in reversed(list(previous.items())):
+                    device = self._fleet.get(name)
+                    try:
+                        device.commit(old_text)
+                        report.rolled_back.append(name)
+                    except DeploymentError:
+                        # A device that cannot be restored is a page, not a log line.
+                        self._notify(
+                            f"atomic rollback FAILED on {name}; manual intervention needed"
+                        )
+                report.changed_lines.clear()
+                self._notify(f"atomic deployment aborted: {exc}")
+                span.set_attribute("aborted", True)
+                return self._account(report)
+            report.succeeded.extend(sorted(configs))
+        return self._account(report)
 
     # ------------------------------------------------------------------
     # Phased mode (section 5.3.2)
@@ -235,40 +257,47 @@ class Deployer:
         remaining = sorted(configs)
         total = len(remaining)
         roles = {name: self._fleet.get(name).role for name in remaining}
-        for index, phase in enumerate(phases, 1):
-            batch = phase.select(remaining, total, roles)
-            if not batch:
-                continue
-            phase_name = phase.name or f"phase-{index}"
-            for name in batch:
-                device = self._fleet.get(name)
-                text = _config_text(configs[name])
-                before = device.running_config
-                try:
-                    device.commit(text)
-                except DeploymentError as exc:
-                    report.failed[name] = str(exc)
+        with obs.span("deploy.phased_deploy", devices=total) as span:
+            for index, phase in enumerate(phases, 1):
+                batch = phase.select(remaining, total, roles)
+                if not batch:
+                    continue
+                phase_name = phase.name or f"phase-{index}"
+                with obs.timed("deploy.phase.latency", phase=phase_name):
+                    for name in batch:
+                        device = self._fleet.get(name)
+                        text = _config_text(configs[name])
+                        before = device.running_config
+                        try:
+                            device.commit(text)
+                        except DeploymentError as exc:
+                            report.failed[name] = str(exc)
+                            message = (
+                                f"phased deployment halted in {phase_name}: {exc}"
+                            )
+                            report.notifications.append(message)
+                            self._notify(message)
+                            report.skipped.extend(
+                                r for r in remaining if r not in batch
+                            )
+                            span.set_attribute("halted_in", phase_name)
+                            return self._account(report)
+                        report.succeeded.append(name)
+                        report.changed_lines[name] = count_changed_lines(before, text)
+                obs.counter("deploy.phase", phase=phase_name).inc()
+                remaining = [name for name in remaining if name not in batch]
+                if health_check is not None and not health_check(batch):
                     message = (
-                        f"phased deployment halted in {phase_name}: {exc}"
+                        f"phased deployment halted after {phase_name}: "
+                        "health check failed"
                     )
                     report.notifications.append(message)
                     self._notify(message)
-                    report.skipped.extend(r for r in remaining if r not in batch)
-                    return report
-                report.succeeded.append(name)
-                report.changed_lines[name] = count_changed_lines(before, text)
-            remaining = [name for name in remaining if name not in batch]
-            if health_check is not None and not health_check(batch):
-                message = (
-                    f"phased deployment halted after {phase_name}: "
-                    "health check failed"
-                )
-                report.notifications.append(message)
-                self._notify(message)
-                report.skipped.extend(remaining)
-                return report
-        report.skipped.extend(remaining)
-        return report
+                    report.skipped.extend(remaining)
+                    span.set_attribute("halted_after", phase_name)
+                    return self._account(report)
+            report.skipped.extend(remaining)
+        return self._account(report)
 
     # ------------------------------------------------------------------
     # Human confirmation (section 5.3.2)
@@ -290,32 +319,34 @@ class Deployer:
         """
         report = DeployReport(operation="deploy_with_confirmation")
         committed: list[EmulatedDevice] = []
-        for name, config in sorted(configs.items()):
-            device = self._fleet.get(name)
-            text = _config_text(config)
-            before = device.running_config
+        with obs.span("deploy.deploy_with_confirmation", devices=len(configs)) as span:
+            for name, config in sorted(configs.items()):
+                device = self._fleet.get(name)
+                text = _config_text(config)
+                before = device.running_config
+                try:
+                    device.commit_confirmed(text, grace_seconds)
+                except DeploymentError as exc:
+                    report.failed[name] = str(exc)
+                    continue
+                committed.append(device)
+                report.changed_lines[name] = count_changed_lines(before, text)
+            verified = False
             try:
-                device.commit_confirmed(text, grace_seconds)
-            except DeploymentError as exc:
-                report.failed[name] = str(exc)
-                continue
-            committed.append(device)
-            report.changed_lines[name] = count_changed_lines(before, text)
-        verified = False
-        try:
-            verified = bool(verify())
-        except Exception as exc:  # a crashing verifier must not confirm
-            report.notifications.append(f"verification raised: {exc}")
-        if verified:
-            for device in committed:
-                device.confirm()
-                report.succeeded.append(device.name)
-        else:
-            message = (
-                "confirmation not given; devices will auto-roll back when "
-                "their grace timers expire"
-            )
-            report.notifications.append(message)
-            self._notify(message)
-            report.rolled_back.extend(device.name for device in committed)
-        return report
+                verified = bool(verify())
+            except Exception as exc:  # a crashing verifier must not confirm
+                report.notifications.append(f"verification raised: {exc}")
+            span.set_attribute("verified", verified)
+            if verified:
+                for device in committed:
+                    device.confirm()
+                    report.succeeded.append(device.name)
+            else:
+                message = (
+                    "confirmation not given; devices will auto-roll back when "
+                    "their grace timers expire"
+                )
+                report.notifications.append(message)
+                self._notify(message)
+                report.rolled_back.extend(device.name for device in committed)
+        return self._account(report)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 from typing import Any
 
+from repro import obs
 from repro.common.errors import ReplicationError, RpcError
 from repro.fbnet.query import Query
 from repro.fbnet.rpc import RpcRequest, RpcResponse, ServiceReplica
@@ -136,6 +137,10 @@ class ReplicatedFBNet:
             region.in_flight.remove(committed_at)
         if region.name == self.master_region:
             return  # region was promoted while the batch was in flight
+        obs.counter("store.replication.batches", region=region.name).inc()
+        obs.gauge("store.replication.lag", region=region.name).set(
+            self.scheduler.clock.now - committed_at, at=self.scheduler.clock.now
+        )
         if not region.db_healthy:
             region.backlog.append(records)
             return
@@ -167,7 +172,11 @@ class ReplicatedFBNet:
         for region in self.regions.values():
             if region.name == self.master_region or not region.db_healthy:
                 continue
-            if self.measured_lag(region.name) > self.max_lag:
+            lag = self.measured_lag(region.name)
+            obs.gauge("store.replication.lag", region=region.name).set(
+                lag, at=self.scheduler.clock.now
+            )
+            if lag > self.max_lag:
                 self.disable_database(region.name)
                 disabled.append(region.name)
         return disabled
@@ -202,6 +211,7 @@ class ReplicatedFBNet:
 
     def _resync(self, region: RegionState) -> None:
         """Rebuild a region's store from the master's full journal."""
+        obs.counter("store.replication.resync", region=region.name).inc()
         fresh = ObjectStore(name=f"fbnet-{region.name}")
         for record in self.master.store.journal:
             fresh.apply_record(record)
@@ -399,6 +409,9 @@ class FBNetClient:
             except RpcError as exc:
                 last_error = exc
                 if "is down" in str(exc):
+                    obs.counter(
+                        "rpc.redirect", service=request.service, region=self.region
+                    ).inc()
                     continue  # redirect to the next replica
                 raise
         raise ReplicationError(f"all service replicas failed: {last_error}")

@@ -18,6 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import obs
 from repro.common.errors import RpcError
 from repro.fbnet.api import ReadApi, WriteApi
 from repro.fbnet.query import Query
@@ -217,18 +218,35 @@ class ServiceReplica:
     def handle(self, wire_request: bytes) -> bytes:
         """Serve one marshalled request, returning a marshalled response."""
         if not self.healthy:
+            obs.counter("rpc.refused", service=self.kind, region=self.region).inc()
             raise RpcError(f"replica {self.name} is down")
         request = RpcRequest.from_wire(wire_request)
         if request.service != self.kind:
+            obs.counter(
+                "rpc.failure", service=self.kind, method=request.method,
+                reason="wrong-service",
+            ).inc()
             raise RpcError(
                 f"replica {self.name} is a {self.kind} service, "
                 f"got a {request.service} request"
             )
         self.served += 1
-        try:
-            payload = self._service.dispatch(request.method, request.args)
-        except RpcError:
-            raise
-        except Exception as exc:  # surfaced to the caller, not swallowed
-            return RpcResponse(ok=False, error=f"{type(exc).__name__}: {exc}").to_wire()
+        obs.counter("rpc.call", service=self.kind, method=request.method).inc()
+        with obs.timed("rpc.latency", service=self.kind, method=request.method):
+            try:
+                payload = self._service.dispatch(request.method, request.args)
+            except RpcError:
+                obs.counter(
+                    "rpc.failure", service=self.kind, method=request.method,
+                    reason="bad-request",
+                ).inc()
+                raise
+            except Exception as exc:  # surfaced to the caller, not swallowed
+                obs.counter(
+                    "rpc.failure", service=self.kind, method=request.method,
+                    reason=type(exc).__name__,
+                ).inc()
+                return RpcResponse(
+                    ok=False, error=f"{type(exc).__name__}: {exc}"
+                ).to_wire()
         return RpcResponse(ok=True, payload=payload).to_wire()

@@ -19,7 +19,10 @@ from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
+from time import perf_counter
 from typing import Any, TypeVar
+
+from repro import obs
 
 from repro.common.errors import (
     IntegrityError,
@@ -96,6 +99,7 @@ class ObjectStore:
         self._undo_log: list[_UndoEntry] = []
         self._pending_records: list[ChangeRecord] = []
         self._current_txn_id: int | None = None
+        self._txn_started_at: float | None = None
 
     # ------------------------------------------------------------------
     # Transactions
@@ -112,6 +116,7 @@ class ObjectStore:
             self._current_txn_id = next(self._txn_counter)
             self._undo_log = []
             self._pending_records = []
+            self._txn_started_at = perf_counter() if obs.enabled() else None
         self._txn_depth += 1
         txn_id = self._current_txn_id
         assert txn_id is not None
@@ -133,6 +138,15 @@ class ObjectStore:
         self._undo_log = []
         self._current_txn_id = None
         self._journal.extend(records)
+        obs.counter("store.txn", store=self.name, status="commit").inc()
+        if self._txn_started_at is not None:
+            obs.histogram("store.txn.latency", store=self.name).observe(
+                perf_counter() - self._txn_started_at
+            )
+            self._txn_started_at = None
+        obs.histogram(
+            "store.txn.rows", obs.COUNT_BUCKETS, store=self.name
+        ).observe(len(records))
         for listener in self._commit_listeners:
             listener(records)
 
@@ -162,6 +176,8 @@ class ObjectStore:
         self._undo_log = []
         self._pending_records = []
         self._current_txn_id = None
+        self._txn_started_at = None
+        obs.counter("store.txn", store=self.name, status="rollback").inc()
 
     def _in_txn(self) -> bool:
         return self._txn_depth > 0
@@ -508,12 +524,14 @@ class ObjectStore:
     def filter(self, model: type[M], query: Query | None = None) -> list[M]:
         """Objects of ``model`` matching ``query`` (all if ``None``)."""
         ensure_query(query)
-        if query is None:
-            return self.all(model)
-        fast = self._indexed_filter(model, query)
-        if fast is not None:
-            return fast
-        return [obj for obj in self.all(model) if query.matches(obj)]
+        obs.counter("store.query", store=self.name, model=model.__name__).inc()
+        with obs.timed("store.query.latency", store=self.name):
+            if query is None:
+                return self.all(model)
+            fast = self._indexed_filter(model, query)
+            if fast is not None:
+                return fast
+            return [obj for obj in self.all(model) if query.matches(obj)]
 
     def _indexed_filter(self, model: type[M], query: Query) -> list[M] | None:
         """Serve single-FK equality queries from the reverse index.
@@ -607,6 +625,7 @@ class ObjectStore:
         changed: tuple[str, ...],
     ) -> None:
         assert self._current_txn_id is not None
+        obs.counter("store.rows", store=self.name, op=op.value).inc()
         self._pending_records.append(
             ChangeRecord(
                 txn_id=self._current_txn_id,

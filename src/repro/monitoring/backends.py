@@ -14,7 +14,7 @@ them for their storage location:
 from __future__ import annotations
 
 import hashlib
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import Any
 
 from repro.fbnet.models import (
@@ -48,13 +48,24 @@ class Backend:
 
 
 class TimeSeriesBackend(Backend):
-    """In-memory time-series store for performance metrics."""
+    """In-memory time-series store for performance metrics.
+
+    Each series keeps at most ``max_points_per_series`` points; when a
+    series is full the oldest point is evicted first, so long simulations
+    hold a bounded window of recent samples instead of growing without
+    limit.
+    """
 
     name = "tsdb"
 
-    def __init__(self) -> None:
-        # (device, metric) -> [(timestamp, value)]
-        self.series: dict[tuple[str, str], list[tuple[float, float]]] = defaultdict(list)
+    def __init__(self, max_points_per_series: int = 4096) -> None:
+        if max_points_per_series <= 0:
+            raise ValueError("max_points_per_series must be positive")
+        self.max_points_per_series = max_points_per_series
+        # (device, metric) -> bounded [(timestamp, value)], oldest first
+        self.series: dict[tuple[str, str], deque[tuple[float, float]]] = defaultdict(
+            lambda: deque(maxlen=max_points_per_series)
+        )
 
     def store(self, record: dict[str, Any], timestamp: float) -> None:
         device = record["device"]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.common.errors import MonitoringError
 from repro.devices.emulator import EmulatedDevice
 from repro.devices.fleet import DeviceFleet
@@ -103,14 +104,20 @@ class JobManager:
         """Run one job over its targets now; returns collected records."""
         engine = self.engine(spec.engine)
         records = []
-        for device in spec.targets(self._fleet):
-            try:
-                record = engine.poll(device, spec.data_type)
-            except MonitoringError as exc:
-                self.failures.append((spec.name, device.name, str(exc)))
-                continue
-            records.append(record)
-            self._dispatch(record, spec.backends)
+        with obs.span("monitoring.job", job=spec.name, engine=spec.engine):
+            obs.counter("monitoring.job.run", job=spec.name).inc()
+            for device in spec.targets(self._fleet):
+                try:
+                    record = engine.poll(device, spec.data_type)
+                except MonitoringError as exc:
+                    self.failures.append((spec.name, device.name, str(exc)))
+                    obs.counter(
+                        "monitoring.collection.error", job=spec.name
+                    ).inc()
+                    continue
+                records.append(record)
+                self._dispatch(record, spec.backends)
+            obs.counter("monitoring.records", job=spec.name).inc(len(records))
         return records
 
     def run_adhoc(
@@ -123,10 +130,14 @@ class JobManager:
         """Create and run an ad-hoc job against one device (Figure 11)."""
         device = self._fleet.get(device_name)
         engine = self.engine(engine_name)
+        obs.counter("monitoring.job.adhoc", engine=engine_name).inc()
         try:
             record = engine.poll(device, data_type)
         except MonitoringError as exc:
             self.failures.append((f"adhoc-{engine_name}", device_name, str(exc)))
+            obs.counter(
+                "monitoring.collection.error", job=f"adhoc-{engine_name}"
+            ).inc()
             return None
         self._dispatch(record, backends)
         return record

@@ -1,0 +1,96 @@
+"""ODS-style exporters: a text dashboard and a JSON feed.
+
+``render_report`` turns a registry + trace sink into the operator
+dashboard printed by the examples; ``render_json`` produces the
+machine-readable snapshot that ``benchmarks/`` archives so future perf
+PRs can record metric trajectories over time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.common.util import format_table
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import TraceSink
+
+__all__ = ["render_json", "render_report", "snapshot"]
+
+
+def render_report(
+    registry: MetricsRegistry,
+    sink: TraceSink | None = None,
+    *,
+    max_trace_roots: int = 20,
+) -> str:
+    """Render every metric series (and the span tree) as aligned tables."""
+    sections: list[str] = []
+    counters = [s for s in registry.series() if isinstance(s, Counter)]
+    gauges = [s for s in registry.series() if isinstance(s, Gauge)]
+    histograms = [s for s in registry.series() if isinstance(s, Histogram)]
+
+    if counters:
+        sections.append("== counters ==\n" + format_table(
+            ("name", "labels", "value"),
+            [(c.name, c.label_str(), f"{c.value:g}") for c in counters],
+        ))
+    if gauges:
+        sections.append("== gauges ==\n" + format_table(
+            ("name", "labels", "value"),
+            [(g.name, g.label_str(), f"{g.value:g}") for g in gauges],
+        ))
+    if histograms:
+        rows = []
+        for h in histograms:
+            s = h.summary()
+            rows.append((
+                h.name, h.label_str(), s["count"],
+                _fmt(s["mean"]), _fmt(s["p50"]), _fmt(s["p95"]), _fmt(s["max"]),
+            ))
+        sections.append("== histograms ==\n" + format_table(
+            ("name", "labels", "count", "mean", "p50", "p95", "max"), rows,
+        ))
+    if sink is not None and len(sink):
+        sections.append(
+            f"== trace ({len(sink)} spans) ==\n"
+            + sink.render(max_roots=max_trace_roots)
+        )
+    if not sections:
+        return "(no telemetry recorded)"
+    return "\n\n".join(sections)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def snapshot(
+    registry: MetricsRegistry, sink: TraceSink | None = None
+) -> dict[str, Any]:
+    """A JSON-serializable dict of all metrics plus the span records."""
+    out: dict[str, Any] = {"metrics": registry.snapshot()}
+    if sink is not None:
+        out["spans"] = [
+            {
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "name": span.name,
+                "status": span.status,
+                "error": span.error,
+                "wall_duration": span.wall_duration,
+                "sim_duration": span.sim_duration,
+                "attributes": {k: repr(v) for k, v in span.attributes.items()},
+            }
+            for span in sink.spans
+        ]
+    return out
+
+
+def render_json(
+    registry: MetricsRegistry,
+    sink: TraceSink | None = None,
+    *,
+    indent: int | None = 2,
+) -> str:
+    return json.dumps(snapshot(registry, sink), indent=indent, sort_keys=True)

@@ -75,6 +75,16 @@ class TestStats:
         with pytest.raises(ValueError):
             percentile([1], 150)
 
+    def test_percentile_histogram_edge_cases(self):
+        # The repro.obs.Histogram reservoir leans on these exact edges:
+        # a single sample must answer every percentile, and pct=100 must
+        # be the maximum even for tiny reservoirs.
+        assert percentile([42.0], 0) == 42.0
+        assert percentile([42.0], 50) == 42.0
+        assert percentile([42.0], 100) == 42.0
+        assert percentile([1.0, 2.0], 100) == 2.0
+        assert percentile([1.0, 2.0], 99.999) == 2.0
+
     @settings(max_examples=30, deadline=None)
     @given(values=st.lists(st.integers(), min_size=1, max_size=80))
     def test_percentile_within_range(self, values):

@@ -4,10 +4,18 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Robotron, seed_environment
+from repro import Robotron, obs, seed_environment
 from repro.fbnet.models import ClusterGeneration
 from repro.fbnet.store import ObjectStore
 from repro.simulation.clock import EventScheduler
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    """Give every test a clean, enabled global telemetry state."""
+    obs.reset()
+    yield
+    obs.reset()
 
 
 @pytest.fixture

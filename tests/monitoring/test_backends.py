@@ -1,0 +1,53 @@
+"""Tests for monitoring storage backends, notably tsdb retention."""
+
+import pytest
+
+from repro.monitoring.backends import TimeSeriesBackend
+
+
+def _system_record(cpu: float) -> dict:
+    return {
+        "device": "d1",
+        "data_type": "system",
+        "payload": {"cpu": cpu, "memory": 40.0, "uptime": 123.0},
+    }
+
+
+class TestTimeSeriesRetention:
+    def test_default_window_is_bounded(self):
+        backend = TimeSeriesBackend()
+        assert backend.max_points_per_series == 4096
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesBackend(max_points_per_series=0)
+
+    def test_eviction_drops_oldest_first(self):
+        backend = TimeSeriesBackend(max_points_per_series=3)
+        for i in range(5):
+            backend.store(_system_record(cpu=float(i)), timestamp=float(i))
+        points = list(backend.series[("d1", "cpu")])
+        # Points 0 and 1 were evicted; order of survivors is preserved.
+        assert points == [(2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]
+
+    def test_latest_reflects_newest_point_after_eviction(self):
+        backend = TimeSeriesBackend(max_points_per_series=2)
+        for i in range(10):
+            backend.store(_system_record(cpu=float(i)), timestamp=float(i))
+        assert backend.latest("d1", "cpu") == 9.0
+
+    def test_each_series_evicts_independently(self):
+        backend = TimeSeriesBackend(max_points_per_series=3)
+        for i in range(5):
+            backend.store(_system_record(cpu=float(i)), timestamp=float(i))
+        # cpu/memory/uptime all came from the same records: same bound.
+        assert len(backend.series[("d1", "cpu")]) == 3
+        assert len(backend.series[("d1", "memory")]) == 3
+        backend.series[("d2", "cpu")].append((0.0, 1.0))
+        assert len(backend.series[("d2", "cpu")]) == 1
+
+    def test_unbounded_enough_window_keeps_everything(self):
+        backend = TimeSeriesBackend(max_points_per_series=100)
+        for i in range(50):
+            backend.store(_system_record(cpu=float(i)), timestamp=float(i))
+        assert len(backend.series[("d1", "cpu")]) == 50

@@ -1,0 +1,215 @@
+"""Unit tests for the ODS-style metrics registry."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("store.txn")
+        counter.inc()
+        counter.inc(3)
+        assert registry.counter("store.txn").value == 4
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("store.txn")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("store.txn", region="r1").inc()
+        registry.counter("store.txn", region="r2").inc(5)
+        assert registry.counter("store.txn", region="r1").value == 1
+        assert registry.counter("store.txn", region="r2").value == 5
+        assert len(registry.series()) == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.call", service="read", method="get").inc()
+        registry.counter("rpc.call", method="get", service="read").inc()
+        assert registry.counter("rpc.call", service="read", method="get").value == 2
+        assert len(registry.series()) == 1
+
+    def test_label_values_coerced_to_str(self):
+        registry = MetricsRegistry()
+        registry.counter("deploy.device", phase=1).inc()
+        assert registry.counter("deploy.device", phase="1").value == 1
+
+
+class TestGauge:
+    def test_set_and_move(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("store.replication.lag", region="r2")
+        gauge.set(0.5, at=100.0)
+        assert gauge.value == 0.5
+        assert gauge.updated_at == 100.0
+        gauge.inc(0.25)
+        gauge.dec(0.5)
+        assert gauge.value == pytest.approx(0.25)
+
+
+class TestHistogram:
+    def test_summary_and_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("store.txn.latency")
+        for value in [0.001, 0.002, 0.003, 0.004, 0.005]:
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 5
+        assert summary["min"] == 0.001
+        assert summary["max"] == 0.005
+        assert summary["mean"] == pytest.approx(0.003)
+        assert summary["p50"] == 0.003
+        assert hist.percentile(100) == 0.005
+
+    def test_bucket_counts_exact(self):
+        hist = Histogram("store.txn.rows", {}, buckets=(1, 10, 100))
+        for value in (0, 1, 5, 10, 50, 1000):
+            hist.observe(value)
+        # <=1: {0, 1}; <=10: {5, 10}; <=100: {50}; overflow: {1000}
+        assert hist.bucket_counts == [2, 2, 1, 1]
+
+    def test_reservoir_is_bounded(self):
+        hist = Histogram("store.query.latency", {}, reservoir=16)
+        for i in range(1000):
+            hist.observe(float(i))
+        assert hist.count == 1000
+        assert len(hist._samples) == 16
+        # Percentiles now reflect the most recent window only.
+        assert hist.percentile(0) == 984.0
+
+    def test_empty_summary_is_zeroed(self):
+        hist = MetricsRegistry().histogram("store.txn.latency")
+        assert hist.summary()["count"] == 0
+        assert hist.summary()["p95"] == 0.0
+
+    def test_custom_buckets_via_registry(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("store.txn.rows", COUNT_BUCKETS)
+        hist.observe(3)
+        assert hist.buckets == tuple(sorted(COUNT_BUCKETS))
+
+
+class TestRegistry:
+    def test_name_convention_enforced(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("NoDots")
+        with pytest.raises(ValueError):
+            registry.counter("Upper.Case")
+        registry.counter("store.sub.event")  # multi-segment is fine
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("store.txn")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("store.txn")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.histogram("store.txn")
+
+    def test_get_does_not_create(self):
+        registry = MetricsRegistry()
+        assert registry.get("store.txn") is None
+        registry.counter("store.txn").inc()
+        assert isinstance(registry.get("store.txn"), Counter)
+        assert registry.get("store.txn", region="r1") is None
+
+    def test_reset_clears_series(self):
+        registry = MetricsRegistry()
+        registry.counter("store.txn").inc()
+        registry.gauge("store.replication.lag").set(1)
+        registry.reset()
+        assert registry.series() == []
+
+    def test_disabled_registry_returns_noop_and_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("store.txn") is NOOP
+        assert registry.gauge("a.b") is NOOP
+        assert registry.histogram("a.b") is NOOP
+        registry.counter("store.txn").inc()
+        with registry.timed("a.b"):
+            pass
+        assert registry.series() == []
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("store.txn", status="commit").inc(2)
+        registry.gauge("store.replication.lag", region="r2").set(0.5)
+        registry.histogram("rpc.latency", method="get").observe(0.01)
+        snap = registry.snapshot()
+        assert snap["counters"] == [
+            {"name": "store.txn", "labels": {"status": "commit"}, "value": 2.0}
+        ]
+        assert snap["gauges"][0]["value"] == 0.5
+        assert snap["histograms"][0]["count"] == 1
+        json.dumps(snap)  # must be JSON-serializable
+
+    def test_timed_records_wall_seconds(self):
+        registry = MetricsRegistry()
+        with registry.timed("rpc.latency", method="get"):
+            sum(range(1000))
+        hist = registry.get("rpc.latency", method="get")
+        assert isinstance(hist, Gauge) is False
+        assert hist.count == 1
+        assert hist.max >= 0
+
+
+class TestGlobalFacade:
+    def test_module_level_helpers_share_one_registry(self):
+        obs.counter("store.txn", store="fbnet").inc()
+        assert obs.registry().get("store.txn", store="fbnet").value == 1
+
+    def test_enable_disable_roundtrip(self):
+        obs.disable()
+        assert not obs.enabled()
+        obs.counter("store.txn").inc()
+        assert obs.registry().series() == []
+        obs.enable()
+        obs.counter("store.txn").inc()
+        assert obs.registry().get("store.txn").value == 1
+
+    def test_reset_reenables_and_clears(self):
+        obs.counter("store.txn").inc()
+        obs.disable()
+        obs.reset()
+        assert obs.enabled()
+        assert obs.registry().series() == []
+        assert len(obs.tracer().sink) == 0
+
+    def test_dump_json_parses_and_writes(self, tmp_path):
+        obs.counter("store.txn").inc()
+        with obs.span("robotron.test"):
+            pass
+        out = tmp_path / "obs.json"
+        text = obs.dump_json(str(out))
+        data = json.loads(text)
+        assert data["metrics"]["counters"][0]["name"] == "store.txn"
+        assert data["spans"][0]["name"] == "robotron.test"
+        assert json.loads(out.read_text()) == data
+
+    def test_report_renders_all_sections(self):
+        obs.counter("store.txn").inc()
+        obs.gauge("store.replication.lag", region="r2").set(0.1)
+        obs.histogram("rpc.latency").observe(0.2)
+        with obs.span("robotron.test"):
+            pass
+        report = obs.report()
+        for header in ("== counters ==", "== gauges ==", "== histograms =="):
+            assert header in report
+        assert "robotron.test" in report
+
+    def test_empty_report(self):
+        assert obs.report() == "(no telemetry recorded)"

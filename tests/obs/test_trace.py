@@ -1,0 +1,161 @@
+"""Unit tests for the structured tracer and flame-tree rendering."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import Span, TraceSink, Tracer
+from repro.simulation.clock import Clock
+
+
+class TestSpanNesting:
+    def test_children_link_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("robotron.provision") as parent:
+            with tracer.span("configgen.generate") as child_a:
+                pass
+            with tracer.span("deploy.initial_provision") as child_b:
+                pass
+        assert child_a.parent_id == parent.span_id
+        assert child_b.parent_id == parent.span_id
+        assert parent.parent_id is None
+        roots = tracer.sink.roots()
+        assert [span.name for span in roots] == ["robotron.provision"]
+        assert [span.name for span in tracer.sink.children(parent)] == [
+            "configgen.generate",
+            "deploy.initial_provision",
+        ]
+
+    def test_deep_nesting(self):
+        tracer = Tracer()
+        with tracer.span("a.b"):
+            with tracer.span("c.d"):
+                with tracer.span("e.f") as inner:
+                    assert tracer.current() is inner
+        assert tracer.current() is None
+        spans = {span.name: span for span in tracer.sink.spans}
+        assert spans["e.f"].parent_id == spans["c.d"].span_id
+        assert spans["c.d"].parent_id == spans["a.b"].span_id
+
+    def test_siblings_after_exit_are_not_nested(self):
+        tracer = Tracer()
+        with tracer.span("a.b"):
+            pass
+        with tracer.span("c.d") as second:
+            pass
+        assert second.parent_id is None
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("deploy.deploy"):
+                raise RuntimeError("boom")
+        (span,) = tracer.sink.spans
+        assert span.status == "error"
+        assert span.error == "RuntimeError: boom"
+        assert span.ended_wall is not None
+        assert tracer.current() is None
+
+    def test_exception_propagates_through_nested_spans(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer.op"):
+                with tracer.span("inner.op"):
+                    raise ValueError("inner fails")
+        statuses = {span.name: span.status for span in tracer.sink.spans}
+        assert statuses == {"inner.op": "error", "outer.op": "error"}
+
+    def test_attributes(self):
+        tracer = Tracer()
+        with tracer.span("deploy.deploy", devices=3) as span:
+            span.set_attribute("failed", 1)
+        (done,) = tracer.sink.spans
+        assert done.attributes == {"devices": 3, "failed": 1}
+
+
+class TestSimTime:
+    def test_spans_record_sim_time_when_clock_attached(self):
+        tracer = Tracer()
+        clock = Clock()
+        tracer.set_sim_clock(clock)
+        with tracer.span("monitoring.job"):
+            clock.advance(60)
+        (span,) = tracer.sink.spans
+        assert span.started_sim == 0.0
+        assert span.ended_sim == 60.0
+        assert span.sim_duration == 60.0
+
+    def test_no_clock_means_no_sim_time(self):
+        tracer = Tracer()
+        with tracer.span("monitoring.job"):
+            pass
+        (span,) = tracer.sink.spans
+        assert span.sim_duration is None
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("a.b") as span:
+            span.set_attribute("x", 1)  # no-op object absorbs this
+        assert len(tracer.sink) == 0
+        assert tracer.current() is None
+
+
+class TestTraceSink:
+    def test_bounded_eviction_oldest_first(self):
+        sink = TraceSink(max_spans=3)
+        for i in range(5):
+            sink.add(Span(span_id=i + 1, parent_id=None, name="a.b"))
+        assert [span.span_id for span in sink.spans] == [3, 4, 5]
+
+    def test_orphaned_child_renders_as_root(self):
+        sink = TraceSink(max_spans=1)
+        sink.add(Span(span_id=1, parent_id=None, name="parent.op"))
+        sink.add(Span(span_id=2, parent_id=1, name="child.op"))
+        assert [span.name for span in sink.roots()] == ["child.op"]
+
+    def test_render_tree_shape(self):
+        tracer = Tracer()
+        with tracer.span("robotron.provision"):
+            with tracer.span("configgen.generate"):
+                pass
+            with tracer.span("deploy.initial_provision"):
+                with tracer.span("deploy.validate"):
+                    pass
+        text = tracer.sink.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("robotron.provision")
+        assert lines[1].startswith("├─ configgen.generate")
+        assert lines[2].startswith("└─ deploy.initial_provision")
+        assert lines[3].startswith("   └─ deploy.validate")
+
+    def test_render_marks_errors(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("deploy.deploy"):
+                raise RuntimeError("boom")
+        assert "[error: RuntimeError: boom]" in tracer.sink.render()
+
+    def test_find(self):
+        tracer = Tracer()
+        with tracer.span("a.b"):
+            pass
+        with tracer.span("a.b"):
+            pass
+        assert len(tracer.sink.find("a.b")) == 2
+        assert tracer.sink.find("missing.name") == []
+
+
+class TestGlobalTracer:
+    def test_obs_span_uses_global_sink(self):
+        with obs.span("robotron.test", key="value"):
+            pass
+        (span,) = obs.tracer().sink.spans
+        assert span.name == "robotron.test"
+        assert span.attributes == {"key": "value"}
+
+    def test_disable_stops_span_recording(self):
+        obs.disable()
+        with obs.span("robotron.test"):
+            pass
+        assert len(obs.tracer().sink) == 0
