@@ -51,6 +51,15 @@ class RpcError(FBNetError):
     """The service layer could not complete an RPC (all replicas failed)."""
 
 
+class ReplicaUnavailable(RpcError):
+    """A transient replica-level failure; safe to redirect or retry.
+
+    Raised when a service replica is down or an injected fault made this
+    particular call fail — the request itself was fine, so the routing
+    layer may redirect it to another replica or retry after backoff.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Life-cycle stage errors
 # ---------------------------------------------------------------------------
@@ -85,3 +94,12 @@ class DeploymentError(RobotronError):
 
 class MonitoringError(RobotronError):
     """A monitoring job or pipeline stage failed."""
+
+
+# ---------------------------------------------------------------------------
+# Chaos layer
+# ---------------------------------------------------------------------------
+
+
+class FaultInjectedError(RobotronError):
+    """A failure injected by the active :mod:`repro.faults` plan."""

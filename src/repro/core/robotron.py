@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from repro import obs
+from repro import faults, obs
 from repro.common.errors import RobotronError
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.configgen.configerator import Configerator
 from repro.configgen.generator import ConfigGenerator, DeviceConfig
 from repro.deploy.deployer import DeployReport, Deployer
@@ -58,8 +60,12 @@ class Robotron:
         scheduler: EventScheduler | None = None,
         *,
         configerator: Configerator | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.scheduler = scheduler or EventScheduler()
+        #: Passed to the deployer and job manager built by this facade so
+        #: chaos runs recover transient faults (see :mod:`repro.faults`).
+        self.retry_policy = retry_policy
         # Spans record simulated time alongside wall time (last Robotron
         # built wins the global tracer's clock — they share it in tests).
         obs.set_sim_clock(self.scheduler.clock)
@@ -131,7 +137,11 @@ class Robotron:
         """Instantiate the emulated fleet from FBNet Desired state."""
         with obs.span("robotron.boot_fleet"):
             self.fleet = DeviceFleet.from_fbnet(self.store, self.scheduler)
-            self.deployer = Deployer(self.fleet, notifier=self.notifications.append)
+            self.deployer = Deployer(
+                self.fleet,
+                notifier=self.notifications.append,
+                retry_policy=self.retry_policy,
+            )
         return self.fleet
 
     def _require_fleet(self) -> DeviceFleet:
@@ -187,7 +197,9 @@ class Robotron:
     def _attach_monitoring(
         self, fleet: DeviceFleet, job_specs: tuple[JobSpec, ...]
     ) -> None:
-        self.jobs = JobManager(fleet, self.scheduler)
+        self.jobs = JobManager(
+            fleet, self.scheduler, retry_policy=self.retry_policy
+        )
         self.jobs.register_backend(self.tsdb)
         self.jobs.register_backend(DerivedModelBackend(self.store, self.scheduler.clock))
         self.collector = SyslogCollector()
@@ -247,6 +259,20 @@ class Robotron:
             self.store, self.fleet, self.generator, self.deployer,
             device_name, reason=reason,
         )
+
+    # ------------------------------------------------------------------
+    # Chaos
+    # ------------------------------------------------------------------
+
+    def install_fault_plan(self, plan: FaultPlan) -> FaultPlan:
+        """Bind ``plan`` to this deployment's clock and activate it.
+
+        Time-windowed fault specs fire against this Robotron's simulated
+        clock; call :func:`repro.faults.uninstall` (or use
+        ``plan.installed()`` instead) to deactivate.
+        """
+        plan.bind_clock(self.scheduler.clock)
+        return faults.install(plan)
 
     # ------------------------------------------------------------------
     # Convenience

@@ -12,9 +12,10 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro import obs
+from repro import faults, obs
 from repro.common.errors import DeploymentError
 from repro.configgen.generator import DeviceConfig
+from repro.faults.retry import CircuitBreaker, GiveUp, RetryPolicy
 from repro.deploy.diff import count_changed_lines, unified_diff
 from repro.deploy.phases import PhaseSpec
 from repro.devices.emulator import CommitError, DeviceDownError, EmulatedDevice
@@ -56,9 +57,45 @@ class Deployer:
         fleet: DeviceFleet,
         *,
         notifier: Callable[[str], None] | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self._fleet = fleet
         self._notify = notifier or (lambda _msg: None)
+        #: When set, transient per-device commit failures are retried with
+        #: backoff on the simulated clock before counting as failures.
+        self._retry_policy = retry_policy
+
+    def _push(self, device: EmulatedDevice, text: str) -> float:
+        """Commit ``text`` on ``device``, retrying transient failures.
+
+        The ``deploy.push`` fault-injection point fires here; with a
+        retry policy configured, injected (and other transient) commit
+        errors are retried up to the policy's budget, bumping the
+        ``deploy.retry`` counter, before the failure is surfaced.
+        """
+
+        def once() -> float:
+            if faults.should_inject(
+                "deploy.push", device=device.name, role=device.role
+            ):
+                raise CommitError(f"{device.name}: injected push failure")
+            return device.commit(text)
+
+        if self._retry_policy is None:
+            return once()
+        try:
+            return self._retry_policy.execute(
+                once,
+                retryable=(CommitError,),
+                sleep=self._fleet.scheduler.clock.advance,
+                clock=self._fleet.scheduler.clock,
+                on_retry=lambda _i, _exc: obs.counter(
+                    "deploy.retry", device=device.name
+                ).inc(),
+            )
+        except GiveUp as exc:
+            assert isinstance(exc.last_error, DeploymentError)
+            raise exc.last_error
 
     @staticmethod
     def _account(report: DeployReport) -> DeployReport:
@@ -179,7 +216,7 @@ class Deployer:
                 text = _config_text(config)
                 before = device.running_config
                 try:
-                    device.commit(text)
+                    self._push(device, text)
                 except DeploymentError as exc:
                     report.failed[name] = str(exc)
                     continue
@@ -208,7 +245,7 @@ class Deployer:
                     device = self._fleet.get(name)
                     text = _config_text(config)
                     before = device.running_config
-                    took = device.commit(text)
+                    took = self._push(device, text)
                     previous[name] = before
                     if took > time_window:
                         raise CommitError(
@@ -246,12 +283,20 @@ class Deployer:
         phases: list[PhaseSpec],
         *,
         health_check: Callable[[list[str]], bool] | None = None,
+        max_failure_ratio: float | None = None,
     ) -> DeployReport:
         """Deploy in engineer-specified phases, gating on health metrics.
 
         After each phase the ``health_check`` runs over that phase's
         devices; deployment only continues while checks pass, otherwise
         the remaining phases are skipped and engineers are notified.
+
+        By default any device failure halts the rollout immediately.
+        With ``max_failure_ratio`` set, each phase instead runs under a
+        :class:`CircuitBreaker`: failures are tolerated until the phase's
+        failure ratio exceeds the threshold, at which point the breaker
+        opens (``deploy.circuit_open``) and everything not yet pushed is
+        skipped — the paper's blast-radius containment.
         """
         report = DeployReport(operation="phased_deploy")
         remaining = sorted(configs)
@@ -263,27 +308,54 @@ class Deployer:
                 if not batch:
                     continue
                 phase_name = phase.name or f"phase-{index}"
+                breaker = (
+                    CircuitBreaker(max_failure_ratio, total=len(batch))
+                    if max_failure_ratio is not None
+                    else None
+                )
                 with obs.timed("deploy.phase.latency", phase=phase_name):
-                    for name in batch:
+                    for position, name in enumerate(batch):
                         device = self._fleet.get(name)
                         text = _config_text(configs[name])
                         before = device.running_config
                         try:
-                            device.commit(text)
+                            self._push(device, text)
                         except DeploymentError as exc:
                             report.failed[name] = str(exc)
-                            message = (
-                                f"phased deployment halted in {phase_name}: {exc}"
-                            )
-                            report.notifications.append(message)
-                            self._notify(message)
-                            report.skipped.extend(
-                                r for r in remaining if r not in batch
-                            )
-                            span.set_attribute("halted_in", phase_name)
-                            return self._account(report)
+                            if breaker is None:
+                                message = (
+                                    f"phased deployment halted in {phase_name}: {exc}"
+                                )
+                                report.notifications.append(message)
+                                self._notify(message)
+                                report.skipped.extend(
+                                    r for r in remaining if r not in batch
+                                )
+                                span.set_attribute("halted_in", phase_name)
+                                return self._account(report)
+                            breaker.record_failure()
+                            if breaker.open:
+                                obs.counter(
+                                    "deploy.circuit_open", phase=phase_name
+                                ).inc()
+                                message = (
+                                    f"phased deployment aborted in {phase_name}: "
+                                    f"failure ratio {breaker.failure_ratio:.0%} "
+                                    f"exceeds {max_failure_ratio:.0%}"
+                                )
+                                report.notifications.append(message)
+                                self._notify(message)
+                                report.skipped.extend(batch[position + 1 :])
+                                report.skipped.extend(
+                                    r for r in remaining if r not in batch
+                                )
+                                span.set_attribute("circuit_open_in", phase_name)
+                                return self._account(report)
+                            continue
                         report.succeeded.append(name)
                         report.changed_lines[name] = count_changed_lines(before, text)
+                        if breaker is not None:
+                            breaker.record_success()
                 obs.counter("deploy.phase", phase=phase_name).inc()
                 remaining = [name for name in remaining if name not in batch]
                 if health_check is not None and not health_check(batch):

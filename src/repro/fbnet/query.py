@@ -120,7 +120,9 @@ class Query:
             return None
         kind = data.get("kind")
         if kind == "expr":
-            return Expr(data["field"], Op(data["op"]), list(data["rvalues"]))
+            # Expr validates the operator string itself (QueryError on
+            # unknown ops, rather than a bare ValueError from Op()).
+            return Expr(data["field"], data["op"], list(data["rvalues"]))
         if kind == "and":
             return And(*[Query.from_wire(child) for child in data["children"]])
         if kind == "or":
@@ -157,6 +159,11 @@ class Expr(Query):
         self.field = field
         self.op = op
         if op is Op.IS_NULL:
+            # A wire round-trip delivers the bool wrapped in a one-element
+            # list; unwrap it, otherwise bool([False]) would silently flip
+            # isnull=False to isnull=True.
+            if isinstance(rvalue, (list, tuple)) and len(rvalue) == 1:
+                rvalue = rvalue[0]
             self.rvalues: tuple[Any, ...] = (bool(rvalue) if rvalue is not None else True,)
         elif isinstance(rvalue, (list, tuple, set, frozenset)):
             self.rvalues = tuple(rvalue)
@@ -239,6 +246,11 @@ class And(Query):
     def __init__(self, *children: Query):
         if not children:
             raise QueryError("And() requires at least one child")
+        for child in children:
+            if not isinstance(child, Query):
+                raise QueryError(
+                    f"And() children must be Query nodes, got {child!r}"
+                )
         self.children = children
 
     def matches(self, obj: Model) -> bool:
@@ -257,6 +269,11 @@ class Or(Query):
     def __init__(self, *children: Query):
         if not children:
             raise QueryError("Or() requires at least one child")
+        for child in children:
+            if not isinstance(child, Query):
+                raise QueryError(
+                    f"Or() children must be Query nodes, got {child!r}"
+                )
         self.children = children
 
     def matches(self, obj: Model) -> bool:
@@ -273,6 +290,10 @@ class Not(Query):
     """True when the child query does not match."""
 
     def __init__(self, child: Query):
+        if not isinstance(child, Query):
+            # Catch a malformed wire tree (e.g. {"kind": "not", "child":
+            # null}) at parse time rather than AttributeError at match time.
+            raise QueryError(f"Not() requires a Query child, got {child!r}")
         self.child = child
 
     def matches(self, obj: Model) -> bool:

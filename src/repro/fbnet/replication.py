@@ -18,11 +18,13 @@ This module reproduces those semantics on the simulated clock:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field as dc_field
 from typing import Any
 
-from repro import obs
-from repro.common.errors import ReplicationError, RpcError
+from repro import faults, obs
+from repro.common.errors import ReplicaUnavailable, ReplicationError
+from repro.faults.retry import GiveUp, RetryPolicy
 from repro.fbnet.query import Query
 from repro.fbnet.rpc import RpcRequest, RpcResponse, ServiceReplica
 from repro.fbnet.store import ChangeRecord, ObjectStore
@@ -73,12 +75,17 @@ class ReplicatedFBNet:
         read_replicas_per_region: int = 2,
         write_replicas: int = 2,
         max_lag: float = 30.0,
+        retry_policy: RetryPolicy | None = None,
     ):
         if master_region not in regions:
             raise ValueError(f"master region {master_region!r} not in {regions}")
         if len(set(regions)) != len(regions):
             raise ValueError("duplicate region names")
         self.scheduler = scheduler or EventScheduler()
+        #: How clients and the replication receive path retry transient faults.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=0.5, multiplier=2.0, max_delay=10.0
+        )
         self.region_order = list(regions)
         self.master_region = master_region
         self.max_lag = max_lag
@@ -131,12 +138,31 @@ class ReplicatedFBNet:
         master_store.add_commit_listener(ship)
 
     def _arrive(
-        self, region: RegionState, records: list[ChangeRecord], committed_at: float
+        self,
+        region: RegionState,
+        records: list[ChangeRecord],
+        committed_at: float,
+        attempt: int = 0,
     ) -> None:
+        if region.name == self.master_region:
+            if committed_at in region.in_flight:
+                region.in_flight.remove(committed_at)
+            return  # region was promoted while the batch was in flight
+        if faults.should_inject("replication.apply", region=region.name):
+            # A lag spike: the batch fails to apply and is redelivered after
+            # a backoff.  The commit timestamp stays in ``in_flight`` so
+            # measured_lag() grows and check_health() can disable the DB —
+            # the paper's high-replication-lag scenario.
+            obs.counter("replication.retry", region=region.name).inc()
+            delay = max(self.retry_policy.backoff(attempt), region.lag)
+            self.scheduler.call_after(
+                delay,
+                lambda: self._arrive(region, records, committed_at, attempt + 1),
+                name=f"replicate-retry->{region.name}",
+            )
+            return
         if committed_at in region.in_flight:
             region.in_flight.remove(committed_at)
-        if region.name == self.master_region:
-            return  # region was promoted while the batch was in flight
         obs.counter("store.replication.batches", region=region.name).inc()
         obs.gauge("store.replication.lag", region=region.name).set(
             self.scheduler.clock.now - committed_at, at=self.scheduler.clock.now
@@ -239,9 +265,19 @@ class ReplicatedFBNet:
             ),
             key=lambda region: self._distance(old_master, region.name),
         )
-        if not candidates:
+        new_master: RegionState | None = None
+        for candidate in candidates:
+            if faults.should_inject("replication.promote", region=candidate.name):
+                # The candidate failed its promotion health check; fall
+                # through to the next-nearest healthy replica.
+                obs.counter(
+                    "replication.promote_skipped", region=candidate.name
+                ).inc()
+                continue
+            new_master = candidate
+            break
+        if new_master is None:
             raise ReplicationError("no healthy replica available for promotion")
-        new_master = candidates[0]
         # Apply anything that already arrived but was backlogged.
         for batch in new_master.backlog:
             self._apply_batch(new_master, batch)
@@ -349,7 +385,10 @@ class FBNetClient:
                 "query": query.to_wire() if query else None,
             },
         )
-        return self._call(request, self._cluster._read_candidates(self.region, consistency))
+        return self._call(
+            request,
+            lambda: self._cluster._read_candidates(self.region, consistency),
+        )
 
     def count(
         self,
@@ -362,7 +401,10 @@ class FBNetClient:
             method="count",
             args={"model": model_name, "query": query.to_wire() if query else None},
         )
-        return self._call(request, self._cluster._read_candidates(self.region, consistency))
+        return self._call(
+            request,
+            lambda: self._cluster._read_candidates(self.region, consistency),
+        )
 
     # -- writes (forwarded to the master region) ------------------------------
 
@@ -372,7 +414,7 @@ class FBNetClient:
             method="create_objects",
             args={"specs": [[name, values] for name, values in specs]},
         )
-        return self._call(request, self._cluster._write_candidates(), write=True)
+        return self._call(request, self._cluster._write_candidates, write=True)
 
     def update_objects(self, updates: list[tuple[str, int, dict[str, Any]]]) -> int:
         request = RpcRequest(
@@ -380,7 +422,7 @@ class FBNetClient:
             method="update_objects",
             args={"updates": [[m, i, v] for m, i, v in updates]},
         )
-        return self._call(request, self._cluster._write_candidates(), write=True)
+        return self._call(request, self._cluster._write_candidates, write=True)
 
     def delete_objects(self, targets: list[tuple[str, int]]) -> int:
         request = RpcRequest(
@@ -388,30 +430,56 @@ class FBNetClient:
             method="delete_objects",
             args={"targets": [[m, i] for m, i in targets]},
         )
-        return self._call(request, self._cluster._write_candidates(), write=True)
+        return self._call(request, self._cluster._write_candidates, write=True)
 
     # -- plumbing --------------------------------------------------------------
 
     def _call(
         self,
         request: RpcRequest,
-        candidates: list[ServiceReplica],
+        candidates: Callable[[], list[ServiceReplica]] | list[ServiceReplica],
         write: bool = False,
     ) -> Any:
-        if not candidates:
-            kind = "master write" if write else "read"
-            raise ReplicationError(f"no live {kind} service replicas")
+        """One logical RPC: sweep candidates, retrying transient failures.
+
+        Each *sweep* walks the current candidate list (re-evaluated per
+        attempt — failover may have changed it), redirecting past
+        unavailable replicas.  When a whole sweep fails transiently the
+        cluster's :class:`RetryPolicy` backs off on the simulated clock
+        and tries again (``rpc.retry``); non-transient errors (bad
+        requests, server-side exceptions) propagate immediately.
+        """
         wire = request.to_wire()
-        last_error: Exception | None = None
-        for replica in candidates:
-            try:
-                return RpcResponse.from_wire(replica.handle(wire)).result()
-            except RpcError as exc:
-                last_error = exc
-                if "is down" in str(exc):
-                    obs.counter(
-                        "rpc.redirect", service=request.service, region=self.region
-                    ).inc()
+        candidates_fn = candidates if callable(candidates) else lambda: candidates
+
+        def sweep() -> Any:
+            candidates = candidates_fn()
+            if not candidates:
+                kind = "master write" if write else "read"
+                raise ReplicaUnavailable(f"no live {kind} service replicas")
+            last_error: Exception | None = None
+            for replica in candidates:
+                try:
+                    return RpcResponse.from_wire(replica.handle(wire)).result()
+                except ReplicaUnavailable as exc:
+                    last_error = exc
+                    if "is down" in str(exc):
+                        obs.counter(
+                            "rpc.redirect", service=request.service, region=self.region
+                        ).inc()
                     continue  # redirect to the next replica
-                raise
-        raise ReplicationError(f"all service replicas failed: {last_error}")
+            raise ReplicaUnavailable(f"all service replicas failed: {last_error}")
+
+        policy = self._cluster.retry_policy
+        try:
+            return policy.execute(
+                sweep,
+                retryable=(ReplicaUnavailable,),
+                sleep=self._cluster.scheduler.run_for,
+                clock=self._cluster.scheduler.clock,
+                on_retry=lambda _i, _exc: obs.counter(
+                    "rpc.retry", service=request.service, region=self.region
+                ).inc(),
+            )
+        except GiveUp as exc:
+            raise ReplicationError(str(exc.last_error)) from exc.last_error

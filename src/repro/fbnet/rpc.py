@@ -18,8 +18,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro import obs
-from repro.common.errors import RpcError
+from repro import faults, obs
+from repro.common.errors import ReplicaUnavailable, RpcError
 from repro.fbnet.api import ReadApi, WriteApi
 from repro.fbnet.query import Query
 from repro.fbnet.store import ObjectStore
@@ -219,8 +219,22 @@ class ServiceReplica:
         """Serve one marshalled request, returning a marshalled response."""
         if not self.healthy:
             obs.counter("rpc.refused", service=self.kind, region=self.region).inc()
-            raise RpcError(f"replica {self.name} is down")
+            raise ReplicaUnavailable(f"replica {self.name} is down")
         request = RpcRequest.from_wire(wire_request)
+        if faults.should_inject(
+            "rpc.call",
+            service=self.kind,
+            method=request.method,
+            replica=self.name,
+            region=self.region,
+        ):
+            obs.counter(
+                "rpc.failure", service=self.kind, method=request.method,
+                reason="fault-injected",
+            ).inc()
+            raise ReplicaUnavailable(
+                f"replica {self.name}: injected transient RPC fault"
+            )
         if request.service != self.kind:
             obs.counter(
                 "rpc.failure", service=self.kind, method=request.method,

@@ -22,7 +22,7 @@ from enum import Enum
 from time import perf_counter
 from typing import Any, TypeVar
 
-from repro import obs
+from repro import faults, obs
 
 from repro.common.errors import (
     IntegrityError,
@@ -66,6 +66,9 @@ class _UndoEntry:
     model: type[Model]
     obj_id: int
     old_values: dict[str, Any] | None  # None for CREATE
+    #: The live instance a DELETE detached, so rollback can revive *it*
+    #: (not a copy) and the caller's references stay valid.
+    obj: Model | None = None
 
 
 class ObjectStore:
@@ -93,6 +96,10 @@ class ObjectStore:
         self._txn_counter = itertools.count(1)
         self._journal: list[ChangeRecord] = []
         self._commit_listeners: list[Callable[[list[ChangeRecord]], None]] = []
+        # Committed batches whose listener delivery was deferred by an
+        # injected ``store.commit_listener`` fault; flushed (in order) on
+        # the next healthy commit or by flush_commit_listeners().
+        self._listener_backlog: list[list[ChangeRecord]] = []
 
         # Transaction state.
         self._txn_depth = 0
@@ -147,8 +154,24 @@ class ObjectStore:
         obs.histogram(
             "store.txn.rows", obs.COUNT_BUCKETS, store=self.name
         ).observe(len(records))
+        if self._commit_listeners and faults.should_inject(
+            "store.commit_listener", store=self.name
+        ):
+            # The listener hookup hiccuped (e.g. the replication shipper):
+            # the commit itself is durable, but delivery is deferred until
+            # the next commit — downstream sees a lag spike, not data loss.
+            self._listener_backlog.append(records)
+            return
+        self.flush_commit_listeners()
         for listener in self._commit_listeners:
             listener(records)
+
+    def flush_commit_listeners(self) -> None:
+        """Deliver any listener batches a fault previously deferred."""
+        while self._listener_backlog:
+            batch = self._listener_backlog.pop(0)
+            for listener in self._commit_listeners:
+                listener(batch)
 
     def _rollback(self) -> None:
         for entry in reversed(self._undo_log):
@@ -167,7 +190,10 @@ class ObjectStore:
                 self._index(obj)
             else:  # DELETE
                 assert entry.old_values is not None
-                obj = entry.model.__new__(entry.model)
+                # Revive the very instance the delete detached; building a
+                # fresh object would strand the caller's reference with
+                # id=None, and a later save() on it would insert a duplicate.
+                obj = entry.obj if entry.obj is not None else entry.model.__new__(entry.model)
                 obj.__dict__.update(entry.old_values)
                 obj.id = entry.obj_id
                 obj._store = self
@@ -278,7 +304,7 @@ class ObjectStore:
         self._unindex(obj)
         del table[old_id]
         self._undo_log.append(
-            _UndoEntry(ChangeOp.DELETE, type(obj), old_id, old_values)
+            _UndoEntry(ChangeOp.DELETE, type(obj), old_id, old_values, obj=obj)
         )
         self._record(ChangeOp.DELETE, obj, old_id, obj.clone_values(), ())
         obj.id = None

@@ -12,9 +12,10 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import faults, obs
 from repro.common.errors import MonitoringError
 from repro.devices.emulator import EmulatedDevice
+from repro.faults.retry import GiveUp, RetryPolicy
 from repro.devices.fleet import DeviceFleet
 from repro.monitoring.backends import Backend
 from repro.monitoring.engines import Engine, engine_for
@@ -48,9 +49,17 @@ class JobSpec:
 class JobManager:
     """Schedules periodic jobs and dispatches ad-hoc ones."""
 
-    def __init__(self, fleet: DeviceFleet, scheduler: EventScheduler | None = None):
+    def __init__(
+        self,
+        fleet: DeviceFleet,
+        scheduler: EventScheduler | None = None,
+        *,
+        retry_policy: RetryPolicy | None = None,
+    ):
         self._fleet = fleet
         self.scheduler = scheduler or fleet.scheduler
+        #: When set, transient poll failures retry with simulated backoff.
+        self._retry_policy = retry_policy
         self._engines: dict[str, Engine] = {}
         self._backends: dict[str, Backend] = {}
         self._cancels: dict[str, Callable[[], None]] = {}
@@ -100,6 +109,41 @@ class JobManager:
     # Execution (periodic firing and ad-hoc)
     # ------------------------------------------------------------------
 
+    def _poll(
+        self, engine: Engine, device: EmulatedDevice, data_type: str, job_name: str
+    ) -> dict:
+        """One collection, through the ``monitoring.collect`` fault point.
+
+        With a retry policy configured, transient poll failures (injected
+        or otherwise) back off on the simulated clock and retry, bumping
+        ``monitoring.retry``, before the error reaches the failure log.
+        """
+
+        def once() -> dict:
+            if faults.should_inject(
+                "monitoring.collect", job=job_name, device=device.name
+            ):
+                raise MonitoringError(
+                    f"{device.name}: injected collection fault"
+                )
+            return engine.poll(device, data_type)
+
+        if self._retry_policy is None:
+            return once()
+        try:
+            return self._retry_policy.execute(
+                once,
+                retryable=(MonitoringError,),
+                sleep=self.scheduler.clock.advance,
+                clock=self.scheduler.clock,
+                on_retry=lambda _i, _exc: obs.counter(
+                    "monitoring.retry", job=job_name
+                ).inc(),
+            )
+        except GiveUp as exc:
+            assert isinstance(exc.last_error, MonitoringError)
+            raise exc.last_error
+
     def run_job(self, spec: JobSpec) -> list[dict]:
         """Run one job over its targets now; returns collected records."""
         engine = self.engine(spec.engine)
@@ -108,7 +152,7 @@ class JobManager:
             obs.counter("monitoring.job.run", job=spec.name).inc()
             for device in spec.targets(self._fleet):
                 try:
-                    record = engine.poll(device, spec.data_type)
+                    record = self._poll(engine, device, spec.data_type, spec.name)
                 except MonitoringError as exc:
                     self.failures.append((spec.name, device.name, str(exc)))
                     obs.counter(
@@ -132,7 +176,9 @@ class JobManager:
         engine = self.engine(engine_name)
         obs.counter("monitoring.job.adhoc", engine=engine_name).inc()
         try:
-            record = engine.poll(device, data_type)
+            record = self._poll(
+                engine, device, data_type, f"adhoc-{engine_name}"
+            )
         except MonitoringError as exc:
             self.failures.append((f"adhoc-{engine_name}", device_name, str(exc)))
             obs.counter(

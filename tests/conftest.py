@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Robotron, obs, seed_environment
+from repro import Robotron, faults, obs, seed_environment
 from repro.fbnet.models import ClusterGeneration
 from repro.fbnet.store import ObjectStore
 from repro.simulation.clock import EventScheduler
@@ -16,6 +16,14 @@ def _reset_obs():
     obs.reset()
     yield
     obs.reset()
+
+
+@pytest.fixture(autouse=True)
+def _reset_faults():
+    """No fault plan leaks into (or out of) any test."""
+    faults.uninstall()
+    yield
+    faults.uninstall()
 
 
 @pytest.fixture

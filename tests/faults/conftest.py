@@ -1,0 +1,14 @@
+"""Chaos-suite fixtures: the seed comes from the environment so CI can
+run the whole suite under several fixed seeds and failures reproduce
+byte-for-byte (``CHAOS_SEED=20160816 pytest -m faults``)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def chaos_seed() -> int:
+    return int(os.environ.get("CHAOS_SEED", "1337"))

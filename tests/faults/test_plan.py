@@ -1,0 +1,120 @@
+"""FaultPlan mechanics: triggers, determinism, global install."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults, obs
+from repro.common.errors import FaultInjectedError
+from repro.faults import FaultPlan, FaultSpec
+from repro.simulation.clock import Clock
+
+pytestmark = pytest.mark.faults
+
+
+class TestTriggers:
+    def test_always_fires_at_probability_one(self):
+        plan = FaultPlan(seed=1)
+        plan.inject("rpc.call")
+        assert all(plan.should_inject("rpc.call") for _ in range(5))
+
+    def test_never_fires_at_probability_zero(self):
+        plan = FaultPlan(seed=1)
+        plan.inject("rpc.call", probability=0.0)
+        assert not any(plan.should_inject("rpc.call") for _ in range(20))
+
+    def test_times_caps_injections(self):
+        plan = FaultPlan(seed=1)
+        plan.inject("deploy.push", times=3)
+        results = [plan.should_inject("deploy.push") for _ in range(10)]
+        assert results == [True] * 3 + [False] * 7
+
+    def test_after_skips_leading_calls(self):
+        plan = FaultPlan(seed=1)
+        plan.inject("deploy.push", after=2, times=1)
+        results = [plan.should_inject("deploy.push") for _ in range(4)]
+        assert results == [False, False, True, False]
+
+    def test_label_match_filters(self):
+        plan = FaultPlan(seed=1)
+        plan.inject("rpc.call", service="write")
+        assert not plan.should_inject("rpc.call", service="read")
+        assert plan.should_inject("rpc.call", service="write")
+
+    def test_unknown_point_never_fires(self):
+        plan = FaultPlan(seed=1)
+        plan.inject("rpc.call")
+        assert not plan.should_inject("monitoring.collect")
+
+    def test_time_window_requires_clock(self):
+        plan = FaultPlan(seed=1)
+        plan.inject("rpc.call", start=10.0, stop=20.0)
+        # Unbound clock: windowed specs cannot fire.
+        assert not plan.should_inject("rpc.call")
+        clock = Clock()
+        plan.bind_clock(clock)
+        assert not plan.should_inject("rpc.call")  # before the window
+        clock.advance(15.0)
+        assert plan.should_inject("rpc.call")
+        clock.advance(10.0)
+        assert not plan.should_inject("rpc.call")  # past the window
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("x.y", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("x.y", times=0)
+        with pytest.raises(ValueError):
+            FaultSpec("x.y", after=-1)
+
+
+class TestDeterminism:
+    def run_sequence(self, seed: int) -> list[bool]:
+        plan = FaultPlan(seed=seed)
+        plan.inject("rpc.call", probability=0.4)
+        return [plan.should_inject("rpc.call") for _ in range(50)]
+
+    def test_same_seed_same_decisions(self, chaos_seed):
+        assert self.run_sequence(chaos_seed) == self.run_sequence(chaos_seed)
+
+    def test_different_seed_different_decisions(self):
+        assert self.run_sequence(1) != self.run_sequence(2)
+
+    def test_injections_are_recorded_with_labels(self):
+        plan = FaultPlan(seed=0)
+        plan.inject("deploy.push")
+        plan.should_inject("deploy.push", device="psw1")
+        assert plan.injections == [(None, "deploy.push", {"device": "psw1"})]
+        assert plan.injected_count() == 1
+        assert plan.injected_count("deploy.push") == 1
+        assert plan.injected_count("rpc.call") == 0
+
+
+class TestGlobalInstall:
+    def test_no_plan_means_no_faults(self):
+        assert not faults.should_inject("rpc.call")
+
+    def test_installed_context_scopes_the_plan(self):
+        plan = FaultPlan(seed=0)
+        plan.inject("rpc.call")
+        with plan.installed():
+            assert faults.active_plan() is plan
+            assert faults.should_inject("rpc.call")
+        assert faults.active_plan() is None
+        assert not faults.should_inject("rpc.call")
+
+    def test_check_raises_fault_injected_error(self):
+        plan = FaultPlan(seed=0)
+        plan.inject("store.commit_listener")
+        with plan.installed():
+            with pytest.raises(FaultInjectedError):
+                faults.check("store.commit_listener")
+
+    def test_injection_bumps_obs_counter(self):
+        plan = FaultPlan(seed=0)
+        plan.inject("rpc.call", times=2)
+        with plan.installed():
+            for _ in range(5):
+                faults.should_inject("rpc.call")
+        series = obs.registry().get("faults.injected", point="rpc.call")
+        assert series is not None and series.value == 2

@@ -1,0 +1,261 @@
+"""Injection points wired through rpc, replication, store, deploy, monitoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults, obs
+from repro.common.errors import ReplicationError
+from repro.deploy.deployer import Deployer
+from repro.deploy.phases import PhaseSpec
+from repro.devices.fleet import DeviceFleet
+from repro.faults import FaultPlan, RetryPolicy
+from repro.fbnet.replication import ReplicatedFBNet
+from repro.fbnet.store import ObjectStore
+from repro.monitoring.jobs import JobManager, JobSpec
+
+pytestmark = pytest.mark.faults
+
+REGIONS = ["na-west", "na-east", "eu-west"]
+
+
+def counter_total(name: str) -> float:
+    return sum(
+        series.value
+        for series in obs.registry().series()
+        if series.name == name and series.kind == "counter"
+    )
+
+
+@pytest.fixture
+def cluster() -> ReplicatedFBNet:
+    return ReplicatedFBNet(
+        REGIONS,
+        "na-west",
+        replication_lag=0.5,
+        max_lag=5.0,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.5),
+    )
+
+
+class TestRpcFaults:
+    def test_injected_fault_redirects_to_next_replica(self, cluster):
+        plan = FaultPlan(seed=3)
+        plan.inject("rpc.call", service="read", times=1)
+        client = cluster.client("na-west")
+        with plan.installed():
+            assert client.count("Region") == 0
+        # One replica absorbed the fault, a sibling served the request.
+        assert plan.injected_count("rpc.call") == 1
+        assert counter_total("rpc.retry") == 0
+
+    def test_sweep_failure_retries_and_recovers(self, cluster):
+        total_read_replicas = sum(
+            len(region.read_replicas) for region in cluster.regions.values()
+        )
+        plan = FaultPlan(seed=3)
+        # Burn every read replica once: the first sweep fails entirely,
+        # the retry sweep succeeds.
+        plan.inject("rpc.call", service="read", times=total_read_replicas)
+        client = cluster.client("na-west")
+        with plan.installed():
+            assert client.count("Region") == 0
+        assert counter_total("rpc.retry") == 1
+        assert plan.injected_count("rpc.call") == total_read_replicas
+
+    def test_unrecoverable_faults_surface_replication_error(self, cluster):
+        plan = FaultPlan(seed=3)
+        plan.inject("rpc.call", service="write")  # forever
+        client = cluster.client("na-west")
+        with plan.installed():
+            with pytest.raises(ReplicationError):
+                client.create_objects([("Region", {"name": "rx"})])
+        assert counter_total("rpc.retry") == 2  # max_attempts=3 -> 2 retries
+
+
+class TestReplicationFaults:
+    def test_apply_fault_is_a_lag_spike_not_data_loss(self, cluster):
+        plan = FaultPlan(seed=3)
+        plan.inject("replication.apply", region="eu-west", times=2)
+        client = cluster.client("na-west")
+        with plan.installed():
+            client.create_objects([("Region", {"name": "rx"})])
+            cluster.scheduler.run_for(1.0)
+            # The batch is still in flight for eu-west; siblings applied it.
+            assert cluster.regions["na-east"].store.journal_position == 1
+            assert cluster.regions["eu-west"].store.journal_position == 0
+            assert cluster.measured_lag("eu-west") > 0.5
+            cluster.scheduler.run_for(10.0)
+        # Redeliveries exhausted the spec; the batch finally applied.
+        assert cluster.regions["eu-west"].store.journal_position == 1
+        assert cluster.measured_lag("eu-west") == 0.0
+        assert counter_total("replication.retry") == 2
+
+    def test_sustained_lag_disables_db_and_recovery_resyncs(self, cluster):
+        plan = FaultPlan(seed=3)
+        plan.inject("replication.apply", region="eu-west", times=50)
+        client = cluster.client("na-west")
+        with plan.installed():
+            client.create_objects([("Region", {"name": "rx"})])
+            cluster.scheduler.run_for(6.0)
+            assert cluster.check_health() == ["eu-west"]
+            assert not cluster.regions["eu-west"].db_healthy
+            # Reads from the disabled region now hit the master store.
+            assert cluster.client("eu-west").count("Region") == 1
+        cluster.recover_database("eu-west")
+        assert cluster.regions["eu-west"].db_healthy
+        assert (
+            cluster.regions["eu-west"].store.journal_position
+            == cluster.master.store.journal_position
+        )
+
+    def test_promotion_candidate_fault_falls_through_to_next(self, cluster):
+        client = cluster.client("na-west")
+        client.create_objects([("Region", {"name": "rx"})])
+        cluster.scheduler.run_for(1.0)
+        plan = FaultPlan(seed=3)
+        plan.inject("replication.promote", region="na-east", times=1)
+        cluster.fail_master()
+        with plan.installed():
+            # na-east is nearest but fails its promotion check.
+            assert cluster.promote_nearest() == "eu-west"
+        assert cluster.master_region == "eu-west"
+        assert cluster.client("eu-west").count("Region") == 1
+
+
+class TestStoreCommitListenerFaults:
+    def test_deferred_delivery_flushes_on_next_commit(self):
+        store = ObjectStore()
+        batches: list[int] = []
+        store.add_commit_listener(lambda records: batches.append(len(records)))
+        from repro.fbnet.models import Region
+
+        plan = FaultPlan(seed=3)
+        plan.inject("store.commit_listener", times=1)
+        with plan.installed():
+            store.create(Region, name="r1")  # delivery deferred
+            assert batches == []
+            store.create(Region, name="r2")  # flushes both, in order
+        assert batches == [1, 1]
+        assert store.journal_position == 2  # the commits themselves held
+
+    def test_explicit_flush_drains_backlog(self):
+        store = ObjectStore()
+        batches: list[int] = []
+        store.add_commit_listener(lambda records: batches.append(len(records)))
+        from repro.fbnet.models import Region
+
+        plan = FaultPlan(seed=3)
+        plan.inject("store.commit_listener")
+        with plan.installed():
+            store.create(Region, name="r1")
+            assert batches == []
+        store.flush_commit_listeners()
+        assert batches == [1]
+
+
+def build_fleet() -> DeviceFleet:
+    fleet = DeviceFleet()
+    for index in range(4):
+        fleet.add_device(f"dev{index}", "vendor1", role="psw")
+    return fleet
+
+
+def configs_for(fleet: DeviceFleet) -> dict[str, str]:
+    return {
+        name: f"hostname {name}\ninterface ae0\n mtu 9192\n no shutdown\n!\n"
+        for name in sorted(fleet.devices)
+    }
+
+
+class TestDeployFaults:
+    def test_push_fault_without_policy_fails_device(self):
+        fleet = build_fleet()
+        deployer = Deployer(fleet)
+        plan = FaultPlan(seed=3)
+        plan.inject("deploy.push", device="dev1", times=1)
+        with plan.installed():
+            report = deployer.deploy(configs_for(fleet))
+        assert "dev1" in report.failed
+        assert "injected" in report.failed["dev1"]
+        assert sorted(report.succeeded) == ["dev0", "dev2", "dev3"]
+
+    def test_retry_policy_recovers_transient_push_faults(self):
+        fleet = build_fleet()
+        deployer = Deployer(
+            fleet, retry_policy=RetryPolicy(max_attempts=3, base_delay=1.0)
+        )
+        plan = FaultPlan(seed=3)
+        plan.inject("deploy.push", device="dev1", times=2)
+        with plan.installed():
+            report = deployer.deploy(configs_for(fleet))
+        assert report.ok
+        assert counter_total("deploy.retry") == 2
+        assert fleet.get("dev1").running_config.startswith("hostname dev1")
+
+    def test_circuit_breaker_aborts_phase_past_threshold(self):
+        fleet = build_fleet()
+        notifications: list[str] = []
+        deployer = Deployer(fleet, notifier=notifications.append)
+        plan = FaultPlan(seed=3)
+        plan.inject("deploy.push")  # every push fails
+        with plan.installed():
+            report = deployer.phased_deploy(
+                configs_for(fleet),
+                [PhaseSpec(name="canary", percentage=100)],
+                max_failure_ratio=0.25,
+            )
+        # 2 of 4 failures crosses the 25% threshold; the rest is skipped.
+        assert not report.ok
+        assert len(report.failed) == 2
+        assert len(report.skipped) == 2
+        assert counter_total("deploy.circuit_open") == 1
+        assert any("exceeds 25%" in message for message in notifications)
+
+    def test_failures_below_threshold_do_not_trip_breaker(self):
+        fleet = build_fleet()
+        deployer = Deployer(fleet)
+        plan = FaultPlan(seed=3)
+        plan.inject("deploy.push", device="dev0", times=1)
+        with plan.installed():
+            report = deployer.phased_deploy(
+                configs_for(fleet),
+                [PhaseSpec(name="all", percentage=100)],
+                max_failure_ratio=0.5,
+            )
+        assert list(report.failed) == ["dev0"]
+        assert sorted(report.succeeded) == ["dev1", "dev2", "dev3"]
+        assert report.skipped == []
+        assert counter_total("deploy.circuit_open") == 0
+
+
+class TestMonitoringFaults:
+    def test_collect_fault_recovered_by_retries(self):
+        fleet = build_fleet()
+        deployer = Deployer(fleet)
+        assert deployer.deploy(configs_for(fleet)).ok
+        jobs = JobManager(
+            fleet, retry_policy=RetryPolicy(max_attempts=3, base_delay=1.0)
+        )
+        spec = JobSpec("sys", "snmp", "system", 60.0)
+        plan = FaultPlan(seed=3)
+        plan.inject("monitoring.collect", times=2)
+        with plan.installed():
+            records = jobs.run_job(spec)
+        assert len(records) == 4  # every device eventually polled
+        assert jobs.failures == []
+        assert counter_total("monitoring.retry") == 2
+
+    def test_collect_fault_without_policy_lands_in_failure_log(self):
+        fleet = build_fleet()
+        deployer = Deployer(fleet)
+        assert deployer.deploy(configs_for(fleet)).ok
+        jobs = JobManager(fleet)
+        spec = JobSpec("sys", "snmp", "system", 60.0)
+        plan = FaultPlan(seed=3)
+        plan.inject("monitoring.collect", times=1)
+        with plan.installed():
+            records = jobs.run_job(spec)
+        assert len(records) == 3
+        assert len(jobs.failures) == 1
+        assert "injected" in jobs.failures[0][2]

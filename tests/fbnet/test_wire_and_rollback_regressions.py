@@ -1,0 +1,189 @@
+"""Regressions for query wire round-trips and transaction rollback.
+
+Three bugs pinned down here:
+
+* ``Expr(..., Op.IS_NULL, False)`` lost its polarity over the wire —
+  ``rvalues`` arrives as ``[False]`` and ``bool([False])`` is ``True``;
+* ``Query.from_wire({"kind": "not", "child": None})`` built ``Not(None)``
+  which exploded with ``AttributeError`` only when first matched;
+* rolling back a DELETE resurrected a *fresh* instance, stranding the
+  caller's reference with ``id=None`` (a later ``save()`` would insert a
+  duplicate row).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError
+from repro.fbnet.models import NetworkDomain, Pop, Region
+from repro.fbnet.query import And, Expr, Not, Op, Or, Query
+from repro.fbnet.store import ObjectStore
+
+
+class TestIsNullWireRoundTrip:
+    def test_isnull_false_survives_the_wire(self):
+        expr = Expr("name", Op.IS_NULL, False)
+        back = Query.from_wire(json.loads(json.dumps(expr.to_wire())))
+        assert isinstance(back, Expr)
+        assert back.rvalues == (False,)
+
+    def test_isnull_true_survives_the_wire(self):
+        expr = Expr("name", Op.IS_NULL, True)
+        back = Query.from_wire(json.loads(json.dumps(expr.to_wire())))
+        assert back.rvalues == (True,)
+
+    def test_round_tripped_isnull_false_matches_like_the_original(self):
+        store = ObjectStore()
+        region = store.create(Region, name="na-west")
+        expr = Expr("name", Op.IS_NULL, False)  # "name is NOT null"
+        assert expr.matches(region)
+        back = Query.from_wire(expr.to_wire())
+        # Before the fix this flipped to isnull=True and matched nothing.
+        assert back.matches(region)
+
+
+class TestMalformedWireTrees:
+    def test_not_with_null_child_is_a_query_error(self):
+        with pytest.raises(QueryError):
+            Query.from_wire({"kind": "not", "child": None})
+
+    def test_not_constructor_rejects_non_query(self):
+        with pytest.raises(QueryError):
+            Not(None)  # type: ignore[arg-type]
+
+    def test_and_or_reject_non_query_children(self):
+        good = Expr("name", Op.EQUAL, "x")
+        for factory in (And, Or):
+            with pytest.raises(QueryError):
+                factory(good, "not a query")  # type: ignore[arg-type]
+
+    def test_unknown_wire_operator_is_a_query_error(self):
+        with pytest.raises(QueryError):
+            Query.from_wire(
+                {"kind": "expr", "field": "name", "op": "===", "rvalues": ["x"]}
+            )
+
+
+# ---------------------------------------------------------------------------
+# Property: every operator and tree shape round-trips through the wire
+# ---------------------------------------------------------------------------
+
+_WORDS = st.text(alphabet="abcxyz0123", min_size=1, max_size=6)
+_WORD_LISTS = st.lists(_WORDS, min_size=1, max_size=3)
+
+_LEAVES = st.one_of(
+    st.builds(lambda vs: Expr("name", Op.EQUAL, vs), _WORD_LISTS),
+    st.builds(lambda vs: Expr("name", Op.NOT_EQUAL, vs), _WORD_LISTS),
+    st.builds(lambda vs: Expr("name", Op.REGEXP, vs), _WORD_LISTS),
+    st.builds(lambda vs: Expr("name", Op.CONTAINS, vs), _WORD_LISTS),
+    st.builds(lambda vs: Expr("name", Op.STARTSWITH, vs), _WORD_LISTS),
+    st.builds(lambda v: Expr("id", Op.GT, v), st.integers(-5, 5)),
+    st.builds(lambda v: Expr("id", Op.GTE, v), st.integers(-5, 5)),
+    st.builds(lambda v: Expr("id", Op.LT, v), st.integers(-5, 5)),
+    st.builds(lambda v: Expr("id", Op.LTE, v), st.integers(-5, 5)),
+    st.builds(lambda b: Expr("name", Op.IS_NULL, b), st.booleans()),
+)
+
+_TREES = st.recursive(
+    _LEAVES,
+    lambda children: st.one_of(
+        st.builds(lambda cs: And(*cs), st.lists(children, min_size=1, max_size=3)),
+        st.builds(lambda cs: Or(*cs), st.lists(children, min_size=1, max_size=3)),
+        st.builds(Not, children),
+    ),
+    max_leaves=12,
+)
+
+
+class TestQueryWireProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(query=_TREES)
+    def test_wire_round_trip_is_identity(self, query):
+        wire = query.to_wire()
+        # The RPC layer JSON-encodes the tree; simulate the transport.
+        back = Query.from_wire(json.loads(json.dumps(wire)))
+        assert back.to_wire() == wire
+
+    @settings(max_examples=80, deadline=None)
+    @given(query=_TREES)
+    def test_round_tripped_query_matches_identically(self, query):
+        store = ObjectStore()
+        objects = [
+            store.create(Region, name=name)
+            for name in ("abc", "xyz0", "c3", "zzz")
+        ]
+        back = Query.from_wire(json.loads(json.dumps(query.to_wire())))
+        for obj in objects:
+            assert back.matches(obj) == query.matches(obj)
+
+
+# ---------------------------------------------------------------------------
+# Rollback: a failed transaction must restore the exact pre-txn world
+# ---------------------------------------------------------------------------
+
+
+class TestRollbackIdentity:
+    def test_failed_txn_restores_identity_and_indexes(self):
+        store = ObjectStore()
+        kept = store.create(Region, name="kept")
+        renamed = store.create(Region, name="old-name")
+        kept_id, renamed_id = kept.id, renamed.id
+
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.create(Region, name="phantom")
+                store.update(renamed, name="new-name")
+                store.delete(kept)
+                raise RuntimeError("abort")
+
+        # DELETE rollback revives the *same* instance the caller holds —
+        # not a fresh copy that leaves `kept` stranded with id=None.
+        assert kept.id == kept_id
+        assert kept._store is store
+        assert store.get(Region, kept_id) is kept
+
+        # UPDATE rolled back in place; CREATE is fully gone.
+        assert renamed.name == "old-name"
+        assert renamed.id == renamed_id
+        assert not store.exists(Region, Expr("name", Op.EQUAL, "phantom"))
+        assert not store.exists(Region, Expr("name", Op.EQUAL, "new-name"))
+
+        # The unique index agrees with the objects (indexed lookups resolve
+        # to the identical instances).
+        assert store.first(Region, Expr("name", Op.EQUAL, "kept")) is kept
+        assert store.first(Region, Expr("name", Op.EQUAL, "old-name")) is renamed
+
+    def test_revived_instance_stays_writable(self):
+        """A post-rollback save() on the caller's reference must update,
+        not insert a duplicate row (the old id=None failure mode)."""
+        store = ObjectStore()
+        region = store.create(Region, name="r1")
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.delete(region)
+                raise RuntimeError("abort")
+        store.update(region, name="r1-renamed")
+        assert store.count(Region) == 1
+        assert store.first(Region, Expr("name", Op.EQUAL, "r1-renamed")) is region
+
+    def test_rollback_restores_deleted_objects_relations(self):
+        """Related deletes roll back too, with FKs and reverse index intact."""
+        store = ObjectStore()
+        region = store.create(Region, name="na")
+        pop = store.create(
+            Pop, name="pop01", region=region, domain=NetworkDomain.POP
+        )
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.delete(pop)
+                store.delete(region)
+                raise RuntimeError("abort")
+        assert store.get(Region, region.id) is region
+        assert store.get(Pop, pop.id) is pop
+        assert pop.related("region") is region
+        assert store.referrers(region, Pop, "region") == [pop]
