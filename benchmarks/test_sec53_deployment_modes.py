@@ -87,16 +87,30 @@ def run_drill():
         "notified": bool(report.notifications),
     }
 
-    # Confirmation without verification: grace-period auto-rollback.
+    # Confirmation without verification: immediate active revert.
     robotron = build_network()
     report = robotron.deployer.deploy_with_confirmation(
         updated_configs(robotron), grace_seconds=600, verify=lambda: False
     )
-    live_during_grace = count_updated(robotron)
-    robotron.run(601)
     results["confirm+no-verify"] = {
-        "live_during_grace": live_during_grace,
-        "updated_after_grace": count_updated(robotron),
+        "reverted": len(report.rolled_back),
+        "updated_after_revert": count_updated(robotron),
+    }
+
+    # Guarded rollout: a failing canary restores last-known-good fleet-wide.
+    robotron = build_network()
+    victim = sorted(robotron.fleet.devices)[1]
+    robotron.fleet.get(victim).fail_next_commits = 1
+    result = robotron.guarded_deploy(
+        updated_configs(robotron),
+        [PhaseSpec(name="canary", percentage=25),
+         PhaseSpec(name="rest", percentage=100)],
+        bake_seconds=60,
+    )
+    results["guarded+fault"] = {
+        "updated": count_updated(robotron),
+        "outcome": result.outcome.value,
+        "restored": len(result.restored),
     }
 
     # And the happy path: atomic deploy with no faults converges BGP.
@@ -134,9 +148,15 @@ def test_sec53_deployment_mode_safety(benchmark, drill):
         ),
         (
             "confirm + no verification",
-            f"{results['confirm+no-verify']['live_during_grace']}/{fleet} live "
-            f"in grace, {results['confirm+no-verify']['updated_after_grace']} "
-            "after auto-rollback",
+            f"{results['confirm+no-verify']['reverted']}/{fleet} actively "
+            f"reverted, {results['confirm+no-verify']['updated_after_revert']} "
+            "left updated",
+        ),
+        (
+            "guarded + canary fault",
+            f"{results['guarded+fault']['updated']}/{fleet} left updated, "
+            f"outcome={results['guarded+fault']['outcome']}, "
+            f"{results['guarded+fault']['restored']} restored to LKG",
         ),
         (
             "atomic, no faults",
@@ -150,8 +170,9 @@ def test_sec53_deployment_mode_safety(benchmark, drill):
         format_table(("mode + injected fault", "outcome"), rows),
         "",
         "paper: dryrun previews, atomic rolls back whole transactions,",
-        "phased halts on failed health metrics with notification, and",
-        "unconfirmed changes revert at the end of the grace period.",
+        "phased halts on failed health metrics with notification,",
+        "unconfirmed changes are actively reverted on the spot, and the",
+        "guarded rollout restores every touched device to last-known-good.",
     ]
     publish_report("sec53_deployment_modes", "\n".join(report))
 
@@ -161,7 +182,9 @@ def test_sec53_deployment_mode_safety(benchmark, drill):
     assert not results["atomic+fault"]["ok"]
     assert results["phased+bad-health"]["updated"] == 2  # ceil(10% of 14)
     assert results["phased+bad-health"]["notified"]
-    assert results["confirm+no-verify"]["live_during_grace"] == fleet
-    assert results["confirm+no-verify"]["updated_after_grace"] == 0
+    assert results["confirm+no-verify"]["reverted"] == fleet
+    assert results["confirm+no-verify"]["updated_after_revert"] == 0
+    assert results["guarded+fault"]["updated"] == 0
+    assert results["guarded+fault"]["outcome"] == "rolled_back"
     assert results["atomic+clean"]["updated"] == fleet
     assert results["atomic+clean"]["bgp_established"]

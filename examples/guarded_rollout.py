@@ -1,0 +1,138 @@
+"""Guarded rollout: a fault-injected phase rolling back to last-known-good.
+
+``repro.deploy.guard`` closes the detect → halt → roll back loop on top
+of the paper's phased deployment (section 5.3.2): before any push it
+pins each device's last-known-good (LKG) config version, every phase
+bakes on the simulated clock and must pass a health gate (reachability,
+ConfMon drift sweep, syslog error scan, optional probe), and any failure
+— push error, open circuit breaker, or failed gate — restores every
+touched device to its LKG.  A guarded rollout therefore always converges
+to "fully new" or "fully previous"; the outcome is persisted as a
+``DeploymentRecord`` in FBNet.
+
+The demo lands a reviewed template bump (the canonical Robotron change
+vector), then:
+
+* rollout 1 runs under a fault plan that fails every psw push — the
+  circuit breaker opens in the canary and the whole rollout is restored
+  to LKG;
+* rollout 2 reruns after the faults clear — the gates pass, the fleet
+  converges fully-new, and the new versions are promoted to LKG.
+
+Run:  python examples/guarded_rollout.py [seed]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Robotron, faults, obs, seed_environment
+from repro.deploy.phases import PhaseSpec
+from repro.faults import FaultPlan, RetryPolicy
+from repro.fbnet.models import ClusterGeneration, DeploymentRecord, Device
+
+PHASES = [
+    PhaseSpec(name="canary", percentage=25),
+    PhaseSpec(name="rest", percentage=100),
+]
+
+
+def counter_total(name: str) -> float:
+    return sum(
+        series.value
+        for series in obs.registry().series()
+        if series.name == name and series.kind == "counter"
+    )
+
+
+def describe(tag: str, result) -> None:
+    print(f"-- {tag}: outcome={result.outcome.value}")
+    if result.rollback_reason:
+        print(f"   reason: {result.rollback_reason}")
+    print(f"   succeeded={sorted(result.report.succeeded)}")
+    print(f"   restored to LKG: {result.restored}")
+    for phase, gate in result.gate_results.items():
+        checks = ", ".join(
+            f"{c.name}={'ok' if c.passed else 'FAIL'}" for c in gate.checks
+        )
+        print(f"   gate[{phase}]: {checks}")
+
+
+def main(seed: int) -> None:
+    robotron = Robotron(retry_policy=RetryPolicy(max_attempts=3, base_delay=1.0))
+    env = seed_environment(robotron.store)
+
+    print(f"== Guarded rollout (seed={seed}) ==")
+    cluster = robotron.build_cluster(
+        "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+    )
+    robotron.boot_fleet()
+    assert robotron.provision_cluster(cluster).ok
+    robotron.attach_monitoring()
+    robotron.run_minutes(2)
+
+    # The change under deployment: a reviewed v2 of both system templates.
+    repo = robotron.generator.configerator
+    for vendor in ("vendor1", "vendor2"):
+        path = f"{vendor}/system.tmpl"
+        change = repo.propose(
+            path, "# golden v2\n" + repo.get(path), author="alice"
+        )
+        repo.approve(change.change_id, reviewer="bob")
+    configs = robotron.generator.generate_devices(
+        list(robotron.store.all(Device))
+    )
+
+    # Rollout 1: every psw push fails persistently; the breaker opens in
+    # the canary phase and the guard restores last-known-good fleet-wide.
+    plan = FaultPlan(seed=seed)
+    plan.inject("deploy.push", role="psw")
+    robotron.install_fault_plan(plan)
+    first = robotron.guarded_deploy(
+        configs,
+        PHASES,
+        max_failure_ratio=0.25,
+        bake_seconds=120.0,
+        probe=lambda batch: robotron.fleet.all_bgp_established(),
+    )
+    faults.uninstall()
+    describe("rollout 1 (psw faults injected)", first)
+    for note in robotron.notifications[-3:]:
+        print(f"   notification: {note}")
+
+    # Rollout 2: faults cleared — gates pass, the fleet converges
+    # fully-new, and the new versions become the pinned LKG.
+    second = robotron.guarded_deploy(
+        configs,
+        PHASES,
+        max_failure_ratio=0.25,
+        bake_seconds=120.0,
+        probe=lambda batch: robotron.fleet.all_bgp_established(),
+    )
+    describe("rollout 2 (faults cleared)", second)
+    assert second.ok
+
+    print("-- deployment history (FBNet DeploymentRecord) --")
+    for record in robotron.store.all(DeploymentRecord):
+        states = sorted(
+            {entry["state"] for entry in record.device_versions.values()}
+        )
+        print(
+            f"   {record.intent_hash[:12]}  outcome={record.outcome.value:<15} "
+            f"rolled_back={record.devices_rolled_back:>2}  states={states}"
+        )
+
+    print("-- rollback accounting --")
+    for name in (
+        "deploy.rollback",
+        "deploy.gate_fail",
+        "deploy.circuit_open",
+        "deploy.lkg_restore",
+        "faults.injected",
+    ):
+        print(f"  {name:>20} = {counter_total(name):.0f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1337)

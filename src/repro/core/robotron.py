@@ -18,6 +18,8 @@ from repro.faults.retry import RetryPolicy
 from repro.configgen.configerator import Configerator
 from repro.configgen.generator import ConfigGenerator, DeviceConfig
 from repro.deploy.deployer import DeployReport, Deployer
+from repro.deploy.guard import DeploymentGuard, HealthGate, RolloutResult
+from repro.deploy.phases import PhaseSpec
 from repro.design.backbone import BackboneDesignTool
 from repro.design.changes import ChangeSummary, DesignChange
 from repro.design.cluster import build_cluster
@@ -76,6 +78,7 @@ class Robotron:
         # Built when the network is provisioned.
         self.fleet: DeviceFleet | None = None
         self.deployer: Deployer | None = None
+        self.guard: DeploymentGuard | None = None
         self.jobs: JobManager | None = None
         self.collector: SyslogCollector | None = None
         self.classifier: Classifier | None = None
@@ -142,6 +145,12 @@ class Robotron:
                 notifier=self.notifications.append,
                 retry_policy=self.retry_policy,
             )
+            self.guard = DeploymentGuard(
+                self.deployer,
+                self.fleet,
+                store=self.store,
+                notifier=self.notifications.append,
+            )
         return self.fleet
 
     def _require_fleet(self) -> DeviceFleet:
@@ -181,6 +190,38 @@ class Robotron:
     def provision_cluster(self, materialized: MaterializedCluster) -> DeployReport:
         """Provision every device of a freshly built cluster."""
         return self.provision_devices(materialized.all_devices())
+
+    def guarded_deploy(
+        self,
+        configs: dict[str, DeviceConfig],
+        phases: list[PhaseSpec],
+        *,
+        max_failure_ratio: float | None = None,
+        bake_seconds: float = 60.0,
+        probe: Callable[[list[str]], bool] | None = None,
+    ) -> RolloutResult:
+        """Health-gated rollout with automatic rollback to last-known-good.
+
+        The gate reuses whatever monitoring is attached: ConfMon sweeps
+        and the syslog classifier join device reachability (and the
+        optional ``probe``) in every post-phase health evaluation.  On
+        any failure the whole rollout is restored, so the fleet ends
+        fully-new or fully-previous — never mixed.
+        """
+        self._require_fleet()
+        assert self.guard is not None
+        self.guard.gate = HealthGate(
+            self.fleet,
+            confmon=self.confmon,
+            classifier=self.classifier,
+            probe=probe,
+        )
+        return self.guard.rollout(
+            configs,
+            phases,
+            max_failure_ratio=max_failure_ratio,
+            bake_seconds=bake_seconds,
+        )
 
     # ------------------------------------------------------------------
     # Stage 4: monitoring

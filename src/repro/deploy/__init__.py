@@ -7,19 +7,39 @@ Two scenarios from the paper:
 * **incremental updates** — live devices, partial config changes, with
   four safety mechanisms (section 5.3.2): dryrun mode, atomic mode,
   phased mode, and human confirmation with a grace-period rollback.
+
+On top of the four modes, :mod:`repro.deploy.guard` provides the
+health-gated rollout: last-known-good recording, per-phase bake + health
+gate, and automatic rollback so a rollout never ends in a silent mixed
+state.
 """
 
-from repro.deploy.deployer import DeployReport, Deployer
+from repro.deploy.deployer import DeployReport, Deployer, PhaseOutcome
 from repro.deploy.diff import count_changed_lines, unified_diff
+from repro.deploy.guard import (
+    DeploymentGuard,
+    GateCheck,
+    GateResult,
+    HealthGate,
+    RolloutResult,
+    intent_hash,
+)
 from repro.deploy.maintenance import drain_device, undrain_device
 from repro.deploy.phases import PhaseSpec
 
 __all__ = [
     "DeployReport",
     "Deployer",
+    "DeploymentGuard",
+    "GateCheck",
+    "GateResult",
+    "HealthGate",
+    "PhaseOutcome",
     "PhaseSpec",
+    "RolloutResult",
     "count_changed_lines",
     "drain_device",
+    "intent_hash",
     "undrain_device",
     "unified_diff",
 ]

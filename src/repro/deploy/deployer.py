@@ -21,7 +21,7 @@ from repro.deploy.phases import PhaseSpec
 from repro.devices.emulator import CommitError, DeviceDownError, EmulatedDevice
 from repro.devices.fleet import DeviceFleet
 
-__all__ = ["DeployReport", "Deployer"]
+__all__ = ["DeployReport", "Deployer", "PhaseOutcome"]
 
 
 def _config_text(config: DeviceConfig | str) -> str:
@@ -47,6 +47,21 @@ class DeployReport:
 
     def total_changed_lines(self) -> int:
         return sum(self.changed_lines.values())
+
+
+@dataclass
+class PhaseOutcome:
+    """What happened while pushing one phase's batch of devices."""
+
+    succeeded: list[str] = field(default_factory=list)
+    failed: dict[str, str] = field(default_factory=dict)
+    #: Batch members never attempted because the push stopped early.
+    not_attempted: list[str] = field(default_factory=list)
+    circuit_open: bool = False
+    halted: bool = False
+
+    def first_failure(self) -> str:
+        return next(iter(self.failed.values()), "")
 
 
 class Deployer:
@@ -277,6 +292,50 @@ class Deployer:
     # Phased mode (section 5.3.2)
     # ------------------------------------------------------------------
 
+    def push_phase(
+        self,
+        configs: Mapping[str, DeviceConfig | str],
+        batch: list[str],
+        report: DeployReport,
+        *,
+        breaker: CircuitBreaker | None = None,
+        halt_on_failure: bool = False,
+    ) -> PhaseOutcome:
+        """Push one phase's batch, recording outcomes into ``report``.
+
+        With a ``breaker``, failures are tolerated until it opens; with
+        ``halt_on_failure``, the first failure stops the batch.  Either
+        way the devices never attempted land in ``not_attempted`` so the
+        caller can account for (or roll back around) them.
+        """
+        outcome = PhaseOutcome()
+        for position, name in enumerate(batch):
+            device = self._fleet.get(name)
+            text = _config_text(configs[name])
+            before = device.running_config
+            try:
+                self._push(device, text)
+            except DeploymentError as exc:
+                report.failed[name] = str(exc)
+                outcome.failed[name] = str(exc)
+                if breaker is not None:
+                    breaker.record_failure()
+                    if breaker.open:
+                        outcome.circuit_open = True
+                        outcome.not_attempted.extend(batch[position + 1 :])
+                        return outcome
+                elif halt_on_failure:
+                    outcome.halted = True
+                    outcome.not_attempted.extend(batch[position + 1 :])
+                    return outcome
+                continue
+            report.succeeded.append(name)
+            outcome.succeeded.append(name)
+            report.changed_lines[name] = count_changed_lines(before, text)
+            if breaker is not None:
+                breaker.record_success()
+        return outcome
+
     def phased_deploy(
         self,
         configs: Mapping[str, DeviceConfig | str],
@@ -314,48 +373,36 @@ class Deployer:
                     else None
                 )
                 with obs.timed("deploy.phase.latency", phase=phase_name):
-                    for position, name in enumerate(batch):
-                        device = self._fleet.get(name)
-                        text = _config_text(configs[name])
-                        before = device.running_config
-                        try:
-                            self._push(device, text)
-                        except DeploymentError as exc:
-                            report.failed[name] = str(exc)
-                            if breaker is None:
-                                message = (
-                                    f"phased deployment halted in {phase_name}: {exc}"
-                                )
-                                report.notifications.append(message)
-                                self._notify(message)
-                                report.skipped.extend(
-                                    r for r in remaining if r not in batch
-                                )
-                                span.set_attribute("halted_in", phase_name)
-                                return self._account(report)
-                            breaker.record_failure()
-                            if breaker.open:
-                                obs.counter(
-                                    "deploy.circuit_open", phase=phase_name
-                                ).inc()
-                                message = (
-                                    f"phased deployment aborted in {phase_name}: "
-                                    f"failure ratio {breaker.failure_ratio:.0%} "
-                                    f"exceeds {max_failure_ratio:.0%}"
-                                )
-                                report.notifications.append(message)
-                                self._notify(message)
-                                report.skipped.extend(batch[position + 1 :])
-                                report.skipped.extend(
-                                    r for r in remaining if r not in batch
-                                )
-                                span.set_attribute("circuit_open_in", phase_name)
-                                return self._account(report)
-                            continue
-                        report.succeeded.append(name)
-                        report.changed_lines[name] = count_changed_lines(before, text)
-                        if breaker is not None:
-                            breaker.record_success()
+                    outcome = self.push_phase(
+                        configs,
+                        batch,
+                        report,
+                        breaker=breaker,
+                        halt_on_failure=breaker is None,
+                    )
+                if outcome.halted:
+                    message = (
+                        f"phased deployment halted in {phase_name}: "
+                        f"{outcome.first_failure()}"
+                    )
+                    report.notifications.append(message)
+                    self._notify(message)
+                    report.skipped.extend(r for r in remaining if r not in batch)
+                    span.set_attribute("halted_in", phase_name)
+                    return self._account(report)
+                if outcome.circuit_open:
+                    obs.counter("deploy.circuit_open", phase=phase_name).inc()
+                    message = (
+                        f"phased deployment aborted in {phase_name}: "
+                        f"failure ratio {breaker.failure_ratio:.0%} "
+                        f"exceeds {max_failure_ratio:.0%}"
+                    )
+                    report.notifications.append(message)
+                    self._notify(message)
+                    report.skipped.extend(outcome.not_attempted)
+                    report.skipped.extend(r for r in remaining if r not in batch)
+                    span.set_attribute("circuit_open_in", phase_name)
+                    return self._account(report)
                 obs.counter("deploy.phase", phase=phase_name).inc()
                 remaining = [name for name in remaining if name not in batch]
                 if health_check is not None and not health_check(batch):
@@ -386,8 +433,10 @@ class Deployer:
 
         The new configs go live under a grace-period timer.  ``verify``
         is the engineer's ad-hoc verification; returning True confirms
-        every device, anything else lets the devices auto-roll back when
-        their timers expire.
+        every device.  Anything else actively reverts every committed
+        device right away — cancelling its grace timer and restoring the
+        prior config — rather than leaving the fleet idling unconfirmed
+        until the timers expire.
         """
         report = DeployReport(operation="deploy_with_confirmation")
         committed: list[EmulatedDevice] = []
@@ -414,11 +463,27 @@ class Deployer:
                     device.confirm()
                     report.succeeded.append(device.name)
             else:
+                reverted: list[str] = []
+                for device in committed:
+                    try:
+                        device.abort_confirm()
+                    except DeploymentError as exc:
+                        # A device that cannot be restored is a page, not a log line.
+                        self._notify(
+                            f"confirmation rollback FAILED on {device.name}: {exc}"
+                        )
+                        report.failed.setdefault(device.name, str(exc))
+                        continue
+                    reverted.append(device.name)
+                if reverted:
+                    obs.counter(
+                        "deploy.rollback", op="deploy_with_confirmation"
+                    ).inc(len(reverted))
                 message = (
-                    "confirmation not given; devices will auto-roll back when "
-                    "their grace timers expire"
+                    f"confirmation not given; reverted {len(reverted)} "
+                    "device(s) to their prior configs"
                 )
                 report.notifications.append(message)
                 self._notify(message)
-                report.rolled_back.extend(device.name for device in committed)
+                report.rolled_back.extend(reverted)
         return self._account(report)

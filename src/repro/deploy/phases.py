@@ -26,12 +26,17 @@ class PhaseSpec:
       rounded up, drawn from devices not yet updated;
     * ``region`` — devices whose name starts with this region/site prefix;
     * ``role`` — devices with this role (e.g. ``"psw"``).
+
+    ``bake_seconds`` optionally overrides the guarded rollout's default
+    bake time (how long the phase soaks on the simulated clock before its
+    health gate is evaluated).
     """
 
     name: str = ""
     percentage: float | None = None
     region: str | None = None
     role: str | None = None
+    bake_seconds: float | None = None
 
     def __post_init__(self) -> None:
         selectors = [s is not None for s in (self.percentage, self.region, self.role)]
@@ -42,6 +47,10 @@ class PhaseSpec:
         if self.percentage is not None and not 0 < self.percentage <= 100:
             raise DeploymentError(
                 f"phase {self.name or '?'}: percentage must be in (0, 100]"
+            )
+        if self.bake_seconds is not None and self.bake_seconds < 0:
+            raise DeploymentError(
+                f"phase {self.name or '?'}: bake_seconds must be >= 0"
             )
 
     def select(

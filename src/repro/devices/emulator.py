@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Callable
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import DeploymentError, MonitoringError
@@ -24,7 +25,14 @@ from repro.simulation.clock import EventScheduler, ScheduledEvent
 if TYPE_CHECKING:
     from repro.devices.fleet import DeviceFleet
 
-__all__ = ["CommitError", "DeviceDownError", "EmulatedDevice", "UnsupportedOperation"]
+__all__ = [
+    "CommitError",
+    "ConfigVersion",
+    "DEFAULT_MAX_CONFIG_HISTORY",
+    "DeviceDownError",
+    "EmulatedDevice",
+    "UnsupportedOperation",
+]
 
 
 class DeviceDownError(DeploymentError):
@@ -49,6 +57,27 @@ VENDOR_CAPABILITIES = {
 #: Vendors with a native dryrun ("commit check") facility (section 5.3.2).
 NATIVE_DRYRUN_VENDORS = {"vendor2"}
 
+#: Default retention limit for the on-box config history (mirrors the
+#: monitoring backends' ``max_points_per_series`` bound): long simulations
+#: must not grow device state without bound.
+DEFAULT_MAX_CONFIG_HISTORY = 64
+
+
+@dataclass
+class ConfigVersion:
+    """One committed configuration revision on a device.
+
+    ``pinned`` marks a revision as referenced from outside the device (the
+    deployment guard pins last-known-good versions); pinned revisions are
+    exempt from retention eviction.
+    """
+
+    version: int
+    text: str
+    committed_at: float
+    reason: str
+    pinned: bool = False
+
 
 class EmulatedDevice:
     """One emulated router or switch."""
@@ -60,9 +89,12 @@ class EmulatedDevice:
         scheduler: EventScheduler,
         *,
         role: str = "",
+        max_config_history: int = DEFAULT_MAX_CONFIG_HISTORY,
     ):
         if vendor not in VENDOR_CAPABILITIES:
             raise ValueError(f"unknown vendor {vendor!r}")
+        if max_config_history < 1:
+            raise ValueError("max_config_history must be >= 1")
         self.name = name
         self.vendor = vendor
         self.role = role
@@ -72,8 +104,10 @@ class EmulatedDevice:
         # Config state.
         self.running_config = ""
         self.parsed = ParsedConfig()
-        self.config_history: list[str] = []
+        self.config_history: list[ConfigVersion] = []
+        self.max_config_history = max_config_history
         self._commit_seq = itertools.count(1)
+        self._version_seq = itertools.count(1)
 
         # Liveness.
         self.alive = True
@@ -220,6 +254,20 @@ class EmulatedDevice:
         self._confirm_event = None
         self._confirm_previous = None
 
+    def abort_confirm(self) -> None:
+        """Actively revert a pending commit_confirmed change right now.
+
+        The operator's counterpart to letting the grace timer fire: cancel
+        the timer and restore the pre-commit config immediately.
+        """
+        self._require_alive()
+        if self._confirm_event is None:
+            raise CommitError(f"{self.name}: no commit awaiting confirmation")
+        previous = self._confirm_previous
+        self._cancel_confirm()
+        if previous is not None and previous != self.running_config:
+            self._apply(previous, reason="confirmation aborted")
+
     def rollback(self, steps: int = 1) -> None:
         """Revert to a previous committed config."""
         self._require_alive()
@@ -230,7 +278,55 @@ class EmulatedDevice:
                 f"{available} available"
             )
         target = self.config_history[-(steps + 1)]
-        self._apply(target, reason=f"rollback {steps}")
+        self._apply(target.text, reason=f"rollback {steps}")
+
+    # ------------------------------------------------------------------
+    # Versioned config history (last-known-good support)
+    # ------------------------------------------------------------------
+
+    @property
+    def config_version(self) -> int:
+        """The version number of the running config (0 before any commit)."""
+        return self.config_history[-1].version if self.config_history else 0
+
+    def version_entry(self, version: int) -> ConfigVersion:
+        """The history entry for ``version`` (raises if evicted/unknown)."""
+        for entry in reversed(self.config_history):
+            if entry.version == version:
+                return entry
+        raise CommitError(
+            f"{self.name}: config version {version} is not in the on-box "
+            f"history (never committed, or evicted by retention)"
+        )
+
+    def pin_version(self, version: int) -> None:
+        """Exempt ``version`` from history eviction (e.g. a rollback target)."""
+        self.version_entry(version).pinned = True
+
+    def unpin_version(self, version: int) -> None:
+        """Drop the eviction exemption; tolerates already-evicted versions."""
+        for entry in reversed(self.config_history):
+            if entry.version == version:
+                entry.pinned = False
+                return
+
+    def revert_to(self, version: int) -> None:
+        """Restore a specific committed config version."""
+        self._require_alive()
+        entry = self.version_entry(version)
+        if entry.text == self.running_config:
+            return
+        self._cancel_confirm()
+        self._apply(entry.text, reason=f"revert to v{version}")
+
+    def _evict_history(self) -> None:
+        while len(self.config_history) > self.max_config_history:
+            for index, entry in enumerate(self.config_history[:-1]):
+                if not entry.pinned:
+                    del self.config_history[index]
+                    break
+            else:
+                return  # everything old is pinned; over-retention is allowed
 
     def _apply(self, text: str, reason: str = "commit") -> None:
         try:
@@ -240,7 +336,15 @@ class EmulatedDevice:
         old_config = self.running_config
         self.running_config = text
         self.parsed = parsed
-        self.config_history.append(text)
+        self.config_history.append(
+            ConfigVersion(
+                version=next(self._version_seq),
+                text=text,
+                committed_at=self.scheduler.clock.now,
+                reason=reason,
+            )
+        )
+        self._evict_history()
         if old_config != text:
             self.emit_syslog(
                 "CONFIG",

@@ -39,10 +39,20 @@ class DeviceFleet:
     # Construction
     # ------------------------------------------------------------------
 
-    def add_device(self, name: str, vendor: str, role: str = "") -> EmulatedDevice:
+    def add_device(
+        self,
+        name: str,
+        vendor: str,
+        role: str = "",
+        *,
+        max_config_history: int | None = None,
+    ) -> EmulatedDevice:
         if name in self.devices:
             raise DeploymentError(f"device {name} already exists in the fleet")
-        device = EmulatedDevice(name, vendor, self.scheduler, role=role)
+        kwargs: dict[str, Any] = {"role": role}
+        if max_config_history is not None:
+            kwargs["max_config_history"] = max_config_history
+        device = EmulatedDevice(name, vendor, self.scheduler, **kwargs)
         device.fleet = self
         device.on_syslog(self._route_syslog)
         device.on_config_change(lambda _dev: self._invalidate_ip_index())
@@ -218,6 +228,12 @@ class DeviceFleet:
     # ------------------------------------------------------------------
     # Fleet-wide views
     # ------------------------------------------------------------------
+
+    def config_versions(self, names: list[str] | None = None) -> dict[str, int]:
+        """The running-config version of every (or the named) device(s)."""
+        if names is None:
+            names = sorted(self.devices)
+        return {name: self.get(name).config_version for name in names}
 
     def all_bgp_established(self) -> bool:
         """Whether every configured BGP session in the fleet is established."""

@@ -14,6 +14,7 @@ from repro.fbnet.models.enums import (
     CircuitStatus,
     ClusterGeneration,
     ClusterStatus,
+    DeploymentOutcome,
     DeviceRole,
     DeviceStatus,
     DrainState,
@@ -59,6 +60,7 @@ from repro.fbnet.models.routing import (
     RoutePolicy,
 )
 from repro.fbnet.models.change import DesignChangeEntry
+from repro.fbnet.models.deployment import DeploymentRecord
 from repro.fbnet.models.firewall import AclAction, AclRule, FirewallPolicy
 from repro.fbnet.models.extras import (
     AsnAllocation,
@@ -107,6 +109,8 @@ __all__ = [
     "DerivedInterface",
     "DerivedRunningConfig",
     "DesignChangeEntry",
+    "DeploymentOutcome",
+    "DeploymentRecord",
     "Device",
     "DeviceRole",
     "DeviceStatus",

@@ -1,0 +1,44 @@
+"""Deployment-history model (paper section 5.3).
+
+Robotron's monitoring and audit paths read everything through FBNet, so
+deployment outcomes must live there too: every guarded rollout persists
+one ``DeploymentRecord`` — what was intended (the intent hash), how it
+was phased, which config version each device started from and ended on,
+and whether the rollout converged to "fully new" or was restored to
+last-known-good.
+"""
+
+from __future__ import annotations
+
+from repro.fbnet.base import Model, ModelGroup
+from repro.fbnet.fields import (
+    CharField,
+    DateTimeField,
+    EnumField,
+    IntField,
+    JSONField,
+)
+from repro.fbnet.models.enums import DeploymentOutcome
+
+__all__ = ["DeploymentRecord"]
+
+
+class DeploymentRecord(Model):
+    """The audit-log row for one guarded (health-gated) rollout."""
+
+    class Meta:
+        group = ModelGroup.DESIRED
+
+    #: sha256 over the sorted (device, config text) pairs being deployed.
+    intent_hash = CharField()
+    operation = CharField(default="guarded_rollout")
+    outcome = EnumField(DeploymentOutcome)
+    rollback_reason = CharField(default="", max_length=512)
+    #: Per-phase log: [{"phase": ..., "devices": [...], "gate": ...}, ...]
+    phases = JSONField(default=list)
+    #: Per-device versions: {name: {"lkg": v, "final": v, "state": ...}}
+    device_versions = JSONField(default=dict)
+    started_at = DateTimeField(default=0.0)
+    finished_at = DateTimeField(default=0.0)
+    devices_total = IntField(default=0, min_value=0)
+    devices_rolled_back = IntField(default=0, min_value=0)

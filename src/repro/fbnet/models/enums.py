@@ -10,6 +10,7 @@ __all__ = [
     "CircuitStatus",
     "ClusterGeneration",
     "ClusterStatus",
+    "DeploymentOutcome",
     "DeviceRole",
     "DeviceStatus",
     "DrainState",
@@ -119,6 +120,20 @@ class ClusterStatus(Enum):
     TURNUP = "turnup"
     PRODUCTION = "production"
     DECOMMISSIONED = "decommissioned"
+
+
+class DeploymentOutcome(Enum):
+    """How a guarded rollout ended (section 5.3.2's safety guarantee).
+
+    A rollout either converges fully to the new configs (``SUCCEEDED``),
+    or is fully restored to last-known-good (``ROLLED_BACK``); when even
+    the restore could not complete — e.g. a device crashed mid-rollback —
+    the record says so loudly (``ROLLBACK_FAILED``).
+    """
+
+    SUCCEEDED = "succeeded"
+    ROLLED_BACK = "rolled_back"
+    ROLLBACK_FAILED = "rollback_failed"
 
 
 class EventSeverity(Enum):

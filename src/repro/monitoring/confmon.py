@@ -96,14 +96,18 @@ class ConfigMonitor:
         self._notify(discrepancy)
         return discrepancy
 
-    def check_all(self) -> list[ConfigDiscrepancy]:
-        """Sweep the whole fleet (periodic audit)."""
+    def check_devices(self, names: list[str]) -> list[ConfigDiscrepancy]:
+        """Sweep a set of devices (e.g. a rollout phase's health gate)."""
         found = []
-        for name in sorted(self._fleet.devices):
+        for name in sorted(names):
             discrepancy = self.check_device(name)
             if discrepancy is not None:
                 found.append(discrepancy)
         return found
+
+    def check_all(self) -> list[ConfigDiscrepancy]:
+        """Sweep the whole fleet (periodic audit)."""
+        return self.check_devices(list(self._fleet.devices))
 
     # ------------------------------------------------------------------
     # Remediation

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.common.errors import DeploymentError
 from repro.deploy.deployer import Deployer
 from repro.deploy.phases import PhaseSpec
@@ -211,7 +212,7 @@ class TestHumanConfirmation:
         scheduler.run_for(1200)
         assert fleet.get("pop01.d0").parsed.interfaces["ae0"].mtu == 9000
 
-    def test_unverified_deploy_rolls_back_at_grace(self, rig):
+    def test_unverified_deploy_reverts_immediately(self, rig):
         fleet, deployer, notifications, scheduler = rig
         deployer.deploy(all_v1_configs(fleet))
         report = deployer.deploy_with_confirmation(
@@ -220,14 +221,19 @@ class TestHumanConfirmation:
             verify=lambda: False,
         )
         assert report.rolled_back
-        # Live immediately...
-        assert fleet.get("pop01.d0").parsed.interfaces["ae0"].mtu == 9000
-        # ...but reverted once the grace period expires.
+        # Actively reverted right away — no waiting for grace timers.
+        assert fleet.get("pop01.d0").parsed.interfaces["ae0"].mtu == 9192
+        assert obs.counter(
+            "deploy.rollback", op="deploy_with_confirmation"
+        ).value == len(report.rolled_back)
+        # The cancelled timers must not fire a second rollback later.
+        history_len = len(fleet.get("pop01.d0").config_history)
         scheduler.run_for(601)
         assert fleet.get("pop01.d0").parsed.interfaces["ae0"].mtu == 9192
+        assert len(fleet.get("pop01.d0").config_history) == history_len
         assert notifications
 
-    def test_crashing_verifier_does_not_confirm(self, rig):
+    def test_crashing_verifier_reverts_immediately(self, rig):
         fleet, deployer, _, scheduler = rig
         deployer.deploy(all_v1_configs(fleet))
 
@@ -238,5 +244,6 @@ class TestHumanConfirmation:
             all_v1_configs(fleet, mtu=9000), grace_seconds=600, verify=verify
         )
         assert report.rolled_back
+        assert fleet.get("pop01.d0").parsed.interfaces["ae0"].mtu == 9192
         scheduler.run_for(601)
         assert fleet.get("pop01.d0").parsed.interfaces["ae0"].mtu == 9192

@@ -1,0 +1,170 @@
+"""Versioned, bounded config history and commit_confirmed clock edges."""
+
+import pytest
+
+from repro.devices.emulator import CommitError, DeviceDownError, EmulatedDevice
+from repro.simulation.clock import EventScheduler
+
+
+def config(mtu):
+    return f"hostname d1\ninterface ae0\n mtu {mtu}\n no shutdown\n!\n"
+
+
+CONFIG_A = config(9192)
+CONFIG_B = config(9000)
+
+
+@pytest.fixture
+def sched():
+    return EventScheduler()
+
+
+@pytest.fixture
+def device(sched):
+    return EmulatedDevice("d1", "vendor1", sched)
+
+
+class TestVersionedHistory:
+    def test_versions_are_monotonic(self, device):
+        device.commit(CONFIG_A)
+        device.commit(CONFIG_B)
+        assert [entry.version for entry in device.config_history] == [1, 2]
+        assert device.config_version == 2
+
+    def test_config_version_zero_before_any_commit(self, device):
+        assert device.config_version == 0
+
+    def test_revert_to_restores_text(self, device):
+        device.commit(CONFIG_A)
+        device.commit(CONFIG_B)
+        device.revert_to(1)
+        assert device.running_config == CONFIG_A
+        # The revert is itself a new committed version.
+        assert device.config_version == 3
+
+    def test_revert_to_same_text_is_a_noop(self, device):
+        device.commit(CONFIG_A)
+        version = device.config_version
+        device.revert_to(version)
+        assert device.config_version == version
+
+    def test_revert_to_unknown_version_raises(self, device):
+        device.commit(CONFIG_A)
+        with pytest.raises(CommitError, match="not in the on-box history"):
+            device.revert_to(99)
+
+    def test_revert_on_dead_device_raises(self, device):
+        device.commit(CONFIG_A)
+        device.crash()
+        with pytest.raises(DeviceDownError):
+            device.revert_to(1)
+
+    def test_revert_cancels_pending_confirm(self, sched, device):
+        device.commit(CONFIG_A)
+        device.commit_confirmed(CONFIG_B, grace_seconds=600)
+        device.revert_to(1)
+        sched.run_for(700)  # the dead timer must not fire a second revert
+        assert device.running_config == CONFIG_A
+
+
+class TestRetention:
+    def test_history_is_bounded(self, sched):
+        device = EmulatedDevice("d1", "vendor1", sched, max_config_history=5)
+        for mtu in range(9000, 9020):
+            device.commit(config(mtu))
+        assert len(device.config_history) == 5
+        # The newest versions survive.
+        assert device.config_history[-1].version == 20
+
+    def test_pinned_versions_survive_eviction(self, sched):
+        device = EmulatedDevice("d1", "vendor1", sched, max_config_history=5)
+        device.commit(config(9000))
+        device.pin_version(1)
+        for mtu in range(9001, 9020):
+            device.commit(config(mtu))
+        assert len(device.config_history) == 5
+        versions = [entry.version for entry in device.config_history]
+        assert 1 in versions  # pinned: exempt from eviction
+        assert device.version_entry(1).text == config(9000)
+
+    def test_unpinned_version_becomes_evictable(self, sched):
+        device = EmulatedDevice("d1", "vendor1", sched, max_config_history=3)
+        device.commit(config(9000))
+        device.pin_version(1)
+        device.unpin_version(1)
+        for mtu in range(9001, 9010):
+            device.commit(config(mtu))
+        assert all(entry.version != 1 for entry in device.config_history)
+
+    def test_unpin_tolerates_evicted_versions(self, sched):
+        device = EmulatedDevice("d1", "vendor1", sched, max_config_history=2)
+        for mtu in range(9000, 9010):
+            device.commit(config(mtu))
+        device.unpin_version(1)  # long gone; must not raise
+
+    def test_evicted_version_raises_on_lookup(self, sched):
+        device = EmulatedDevice("d1", "vendor1", sched, max_config_history=2)
+        for mtu in range(9000, 9010):
+            device.commit(config(mtu))
+        with pytest.raises(CommitError, match="evicted"):
+            device.version_entry(1)
+
+    def test_invalid_retention_limit_rejected(self, sched):
+        with pytest.raises(ValueError):
+            EmulatedDevice("d1", "vendor1", sched, max_config_history=0)
+
+    def test_fleet_passthrough(self, sched):
+        from repro.devices.fleet import DeviceFleet
+
+        fleet = DeviceFleet(sched)
+        device = fleet.add_device("d1", "vendor1", max_config_history=7)
+        assert device.max_config_history == 7
+        device.commit(CONFIG_A)
+        assert fleet.config_versions() == {"d1": 1}
+
+
+class TestCommitConfirmedEdges:
+    """The satellite's commit_confirmed edge cases on the simulated clock."""
+
+    def test_grace_expiry_restores_prior_config(self, sched, device):
+        device.commit(CONFIG_A)
+        device.commit_confirmed(CONFIG_B, grace_seconds=600)
+        assert device.running_config == CONFIG_B
+        sched.run_for(601)
+        assert device.running_config == CONFIG_A
+        # The rollback is a recorded revision, with the reason captured.
+        assert device.config_history[-1].reason == "confirm-timeout rollback"
+
+    def test_crash_during_grace_window(self, sched, device):
+        device.commit(CONFIG_A)
+        device.commit_confirmed(CONFIG_B, grace_seconds=600)
+        device.crash()
+        sched.run_for(700)
+        device.boot()
+        # The timer must not reach into a dead device; the candidate config
+        # survives the reboot, and there is nothing left to confirm.
+        assert device.running_config == CONFIG_B
+        with pytest.raises(CommitError, match="no commit awaiting confirmation"):
+            device.confirm()
+
+    def test_confirm_after_expiry_raises_clear_error(self, sched, device):
+        device.commit(CONFIG_A)
+        device.commit_confirmed(CONFIG_B, grace_seconds=600)
+        sched.run_for(601)
+        with pytest.raises(CommitError, match="no commit awaiting confirmation"):
+            device.confirm()
+
+    def test_abort_confirm_reverts_immediately(self, sched, device):
+        device.commit(CONFIG_A)
+        device.commit_confirmed(CONFIG_B, grace_seconds=600)
+        device.abort_confirm()
+        assert device.running_config == CONFIG_A
+        history_len = len(device.config_history)
+        sched.run_for(601)  # cancelled timer: no second rollback
+        assert device.running_config == CONFIG_A
+        assert len(device.config_history) == history_len
+
+    def test_abort_confirm_without_pending_raises(self, device):
+        device.commit(CONFIG_A)
+        with pytest.raises(CommitError, match="no commit awaiting confirmation"):
+            device.abort_confirm()

@@ -1,0 +1,14 @@
+"""Guard-suite fixtures: the seed comes from the environment so CI can
+replay the rollback chaos suite under several fixed seeds
+(``CHAOS_SEED=20160816 pytest -m guard``)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def chaos_seed() -> int:
+    return int(os.environ.get("CHAOS_SEED", "1337"))

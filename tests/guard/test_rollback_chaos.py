@@ -1,0 +1,210 @@
+"""Guarded rollouts under a seeded fault plan (rollback chaos acceptance).
+
+One cycle provisions the paper's 14-device POP, lands a reviewed template
+bump (the canonical Robotron change vector), then attempts two guarded
+rollouts while faults fire:
+
+* rollout 1 pushes the new configs fleet-wide under a circuit breaker
+  while every psw push fails persistently — the breaker opens in the
+  canary phase and the rollout restores every touched device to its
+  last-known-good version;
+* rollout 2 retries the ToRs only, with one ToR crashing mid-bake — the
+  reachability gate fails, the live ToR is restored, and the dead one is
+  recorded loudly as a failed rollback (still never a silent third
+  state).
+
+The invariant under any seed: every device ends on the new config or its
+recorded LKG, the rollback/gate counters fire, a ``DeploymentRecord``
+row captures each outcome, and the whole run reproduces bit-for-bit
+from its seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro import Robotron, faults, obs, seed_environment
+from repro.deploy.phases import PhaseSpec
+from repro.faults import FaultPlan, RetryPolicy
+from repro.fbnet.models import ClusterGeneration, DeploymentRecord, Device
+
+pytestmark = pytest.mark.guard
+
+COUNTERS = (
+    "faults.injected",
+    "deploy.retry",
+    "deploy.rollback",
+    "deploy.gate_fail",
+    "deploy.circuit_open",
+    "deploy.lkg_restore",
+)
+
+ALLOWED_STATES = {"new", "lkg"}  # the no-third-state invariant
+
+PHASES = [
+    PhaseSpec(name="canary", percentage=25),
+    PhaseSpec(name="rest", percentage=100),
+]
+
+
+def counter_total(name: str) -> float:
+    return sum(
+        series.value
+        for series in obs.registry().series()
+        if series.name == name and series.kind == "counter"
+    )
+
+
+def build_plan(seed: int) -> FaultPlan:
+    plan = FaultPlan(seed=seed)
+    # Every psw push fails persistently: rollout 1's breaker must open.
+    plan.inject("deploy.push", role="psw")
+    # Seeded collection noise: where different seeds make different runs.
+    # Retries absorb it (or the poll records nothing), so it can never
+    # change the rollouts' control flow — only the telemetry trail.
+    plan.inject("monitoring.collect", probability=0.05)
+    return plan
+
+
+def bump_templates(robotron) -> None:
+    """Land a reviewed v2 of both vendors' system templates."""
+    repo = robotron.generator.configerator
+    for vendor in ("vendor1", "vendor2"):
+        path = f"{vendor}/system.tmpl"
+        change = repo.propose(
+            path,
+            "# golden v2\n" + repo.get(path),
+            author="alice",
+            note="golden v2 rollout",
+        )
+        repo.approve(change.change_id, reviewer="bob")
+
+
+def run_guarded_cycle(seed: int) -> dict:
+    """One full rollback-chaos run; returns a comparable fingerprint."""
+    obs.reset()
+    faults.uninstall()
+    robotron = Robotron(retry_policy=RetryPolicy(max_attempts=3, base_delay=1.0))
+    env = seed_environment(robotron.store)
+    cluster = robotron.build_cluster(
+        "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+    )
+    robotron.boot_fleet()
+    provision = robotron.provision_cluster(cluster)
+    assert provision.ok, provision.failed
+    robotron.attach_monitoring()
+    robotron.run_minutes(2)
+
+    # The change under deployment: a reviewed template bump, regenerated
+    # into new golden configs for all 14 devices.
+    bump_templates(robotron)
+    configs = robotron.generator.generate_devices(list(robotron.store.all(Device)))
+
+    plan = build_plan(seed)
+    robotron.install_fault_plan(plan)
+    try:
+        # Rollout 1: fleet-wide, breaker opens on the failing psws.
+        first = robotron.guarded_deploy(
+            configs, PHASES, max_failure_ratio=0.25, bake_seconds=120.0
+        )
+
+        # Rollout 2: ToRs only; one ToR dies mid-bake.
+        tor_configs = {
+            name: config for name, config in configs.items() if ".tor" in name
+        }
+        victim = sorted(tor_configs)[0]
+        robotron.scheduler.call_after(
+            60.0, robotron.fleet.get(victim).crash, name="chaos-tor-crash"
+        )
+        second = robotron.guarded_deploy(
+            tor_configs, PHASES, bake_seconds=120.0
+        )
+    finally:
+        faults.uninstall()
+
+    records = robotron.store.all(DeploymentRecord)
+    return {
+        "injections": list(plan.injections),
+        "counters": {name: counter_total(name) for name in COUNTERS},
+        "outcomes": [result.outcome.value for result in (first, second)],
+        "reasons": [result.rollback_reason for result in (first, second)],
+        "restored": [sorted(result.restored) for result in (first, second)],
+        "failed": [sorted(result.report.failed) for result in (first, second)],
+        "skipped": [sorted(result.report.skipped) for result in (first, second)],
+        "records": [
+            (
+                record.intent_hash,
+                record.outcome.value,
+                record.rollback_reason,
+                record.devices_total,
+                record.devices_rolled_back,
+                record.device_versions,
+                record.phases,
+            )
+            for record in records
+        ],
+        "device_states": {
+            name: entry["state"]
+            for record in records
+            for name, entry in record.device_versions.items()
+        },
+        "config_shas": {
+            name: hashlib.sha256(device.running_config.encode()).hexdigest()
+            for name, device in sorted(robotron.fleet.devices.items())
+        },
+        "clock": robotron.scheduler.clock.now,
+    }
+
+
+class TestRollbackChaos:
+    def test_same_seed_reproduces_bit_for_bit(self, chaos_seed):
+        assert run_guarded_cycle(chaos_seed) == run_guarded_cycle(chaos_seed)
+
+    def test_no_rollout_ends_mixed_state(self, chaos_seed):
+        result = run_guarded_cycle(chaos_seed)
+        # The acceptance invariant: every device in every rollout record
+        # ended on the new config or its recorded last-known-good.
+        for record in result["records"]:
+            states = {entry["state"] for entry in record[5].values()}
+            assert states <= ALLOWED_STATES, record
+
+    def test_faults_are_detected_and_rolled_back(self, chaos_seed):
+        result = run_guarded_cycle(chaos_seed)
+
+        # Rollout 1: the persistent psw faults fired and were retried.
+        points = {point for _, point, _ in result["injections"]}
+        assert "deploy.push" in points
+        assert result["counters"]["deploy.retry"] >= 4  # 2 psws x 2 retries
+        # The breaker opened in the canary and everything touched was
+        # restored: the fleet converged to fully-previous.
+        assert result["outcomes"][0] == "rolled_back"
+        assert "circuit breaker opened in canary" in result["reasons"][0]
+        assert result["counters"]["deploy.circuit_open"] == 1
+        first_states = {
+            entry["state"] for entry in result["records"][0][5].values()
+        }
+        assert first_states == {"lkg"}
+
+        # Rollout 2: the ToR crash tripped the reachability gate; the
+        # live ToR was restored, the dead one recorded as stuck-on-new.
+        assert result["outcomes"][1] == "rollback_failed"
+        assert "reachability" in result["reasons"][1]
+        assert result["counters"]["deploy.gate_fail"] == 1
+        second_versions = result["records"][1][5]
+        victim = sorted(second_versions)[0]
+        assert second_versions[victim]["state"] == "new"
+        assert all(
+            entry["state"] == "lkg"
+            for name, entry in second_versions.items()
+            if name != victim
+        )
+
+        # The rollback trail is in the telemetry.
+        assert result["counters"]["deploy.rollback"] >= 3
+        assert result["counters"]["deploy.lkg_restore"] >= 3
+        assert result["counters"]["faults.injected"] >= 6
+
+    def test_different_seeds_diverge(self):
+        assert run_guarded_cycle(21) != run_guarded_cycle(22)
