@@ -19,6 +19,6 @@ vendor-specific *templates* with special syntax and keywords.
 """
 
 from repro.configgen.engine import Template
-from repro.configgen.generator import ConfigGenerator, DeviceConfig
+from repro.configgen.generator import ConfigGenerator, DeviceConfig, IncrementalGenReport
 
-__all__ = ["ConfigGenerator", "DeviceConfig", "Template"]
+__all__ = ["ConfigGenerator", "DeviceConfig", "IncrementalGenReport", "Template"]

@@ -6,25 +6,38 @@ each section, and concatenates them into a full device config.  The
 generated ("golden") configs are registered so the config monitor can
 detect drift (section 5.4.3), and every generation records which FBNet
 design state it came from.
+
+Generation is *change-aware* (section 5.3/8): every config carries the
+:class:`~repro.fbnet.changelog.ReadSet` of its derivation plus the
+template versions it rendered with, and :meth:`ConfigGenerator.
+regenerate_dirty` walks the journal since each config's generation
+position to regenerate only the devices an FBNet mutation (or a template
+bump) actually affects.  The incremental output is byte-identical to a
+full regeneration because every read the derivation performs is captured
+at the store layer — a device whose read-set matches no journal record
+cannot render differently.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import cached_property
 from time import perf_counter
-from typing import Any
+from typing import Any, Callable
 
 from repro import obs
 from repro.common.errors import ConfigGenerationError
 from repro.fbnet.base import Model
-from repro.fbnet.store import ObjectStore
+from repro.fbnet.changelog import ReadSet
+from repro.fbnet.models.device import Device
+from repro.fbnet.store import ChangeRecord, ObjectStore
 from repro.configgen.configerator import Configerator
 from repro.configgen.derive import derive_device_data, fetch_location_devices
 from repro.configgen.engine import Template
 from repro.configgen.schema import CONFIG_SCHEMA
 
-__all__ = ["ConfigGenerator", "DeviceConfig"]
+__all__ = ["ConfigGenerator", "DeviceConfig", "IncrementalGenReport"]
 
 #: Config sections, rendered and concatenated in this order.
 SECTIONS = ("system", "acl", "policy", "interfaces", "bgp", "mpls")
@@ -42,13 +55,47 @@ class DeviceConfig:
     #: FBNet journal position at generation time — used to detect stale
     #: configs (the section 8 war story).
     design_position: int = 0
+    #: Everything the derivation read from FBNet; ``None`` when the config
+    #: predates read tracking (treated as always-dirty).
+    read_set: ReadSet | None = field(default=None, repr=False, compare=False)
+    #: ``template path -> Configerator version`` rendered with, so template
+    #: bumps dirty exactly the devices that used the bumped template.
+    template_versions: dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
-    @property
+    @cached_property
     def sha(self) -> str:
+        # cached_property stores straight into the instance __dict__, so the
+        # hash of the (immutable) text is computed at most once even though
+        # the dataclass is frozen.
         return hashlib.sha256(self.text.encode()).hexdigest()
 
     def lines(self) -> list[str]:
         return self.text.splitlines()
+
+
+@dataclass
+class IncrementalGenReport:
+    """Outcome of one :meth:`ConfigGenerator.regenerate_dirty` pass."""
+
+    #: Journal position the pass caught golden configs up to.
+    position: int = 0
+    #: Journal records examined across all devices.
+    records_scanned: int = 0
+    #: Device name -> why it was regenerated (``"new"``, ``"untracked"``,
+    #: ``"template"``, or ``"<model>#<id> <op>"`` for a journal match).
+    dirty: dict[str, str] = field(default_factory=dict)
+    #: Freshly generated configs, by device name (the dirty subset).
+    regenerated: dict[str, DeviceConfig] = field(default_factory=dict)
+    #: Devices whose golden config was still current.
+    skipped: list[str] = field(default_factory=list)
+    #: Golden entries dropped because the device left the design.
+    retired: list[str] = field(default_factory=list)
+
+    @property
+    def devices_total(self) -> int:
+        return len(self.regenerated) + len(self.skipped)
 
 
 class ConfigGenerator:
@@ -57,16 +104,36 @@ class ConfigGenerator:
     def __init__(self, store: ObjectStore, configerator: Configerator | None = None):
         self._store = store
         self.configerator = configerator or Configerator()
-        # Compiled template cache, invalidated per-path on version bumps.
-        self._compiled: dict[tuple[str, int], Template] = {}
+        # Compiled template cache: path -> (version, compiled template).
+        # Keyed by path alone so a Configerator version bump *replaces* the
+        # superseded entry instead of accumulating one entry per version.
+        self._compiled: dict[str, tuple[int, Template]] = {}
         #: Golden configs by device name — what monitoring compares against.
         self.golden: dict[str, DeviceConfig] = {}
+        # Called with each batch of freshly generated configs (ConfMon uses
+        # this to point drift sweeps at just-regenerated devices).
+        self._subscribers: list[Callable[[list[DeviceConfig]], None]] = []
+
+    # ------------------------------------------------------------------
+    # Regeneration announcements
+    # ------------------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[list[DeviceConfig]], None]) -> None:
+        """Register a listener for freshly generated config batches."""
+        self._subscribers.append(listener)
+
+    def _announce(self, configs: list[DeviceConfig]) -> None:
+        if not configs:
+            return
+        for listener in self._subscribers:
+            listener(configs)
 
     # ------------------------------------------------------------------
     # Template access
     # ------------------------------------------------------------------
 
-    def _template(self, vendor: str, section: str) -> Template:
+    def _template(self, vendor: str, section: str) -> tuple[Template, int]:
+        """The compiled template for one section, plus its current version."""
         path = f"{vendor}/{section}.tmpl"
         if not self.configerator.exists(path):
             raise ConfigGenerationError(
@@ -74,15 +141,14 @@ class ConfigGenerator:
                 f"(expected {path} in Configerator)"
             )
         version = self.configerator.current_version(path)
-        key = (path, version)
-        template = self._compiled.get(key)
-        if template is None:
-            obs.counter("configgen.template_cache", result="miss").inc()
-            template = Template(self.configerator.get(path), name=path)
-            self._compiled[key] = template
-        else:
+        cached = self._compiled.get(path)
+        if cached is not None and cached[0] == version:
             obs.counter("configgen.template_cache", result="hit").inc()
-        return template
+            return cached[1], version
+        obs.counter("configgen.template_cache", result="miss").inc()
+        template = Template(self.configerator.get(path), name=path)
+        self._compiled[path] = (version, template)
+        return template, version
 
     # ------------------------------------------------------------------
     # Generation
@@ -90,16 +156,34 @@ class ConfigGenerator:
 
     def generate_device(self, device: Model) -> DeviceConfig:
         """Generate (and register as golden) one device's full config."""
+        config = self._generate(device)
+        self._announce([config])
+        return config
+
+    def _generate(self, device: Model) -> DeviceConfig:
         started = perf_counter() if obs.enabled() else None
-        data = derive_device_data(self._store, device)
+        # Capture the generation position *before* deriving: any record
+        # committed mid-derivation must be re-examined by the next
+        # regenerate_dirty pass, not silently assumed incorporated.
+        position = self._store.journal_position
+        read_set = ReadSet()
+        # The device object itself is handed in, not read through the store
+        # inside the tracked block — record it explicitly.
+        if device.id is not None:
+            read_set.add_object(type(device).__name__, device.id)
+        with self._store.track_reads(read_set):
+            data = derive_device_data(self._store, device)
         # Wire round-trip: the data struct is what crosses between the
         # derivation and rendering stages in the paper's pipeline.
         wire = CONFIG_SCHEMA.dumps("Device", data)
         data = CONFIG_SCHEMA.loads("Device", wire)
         vendor = data["vendor"]
         parts = []
+        template_versions: dict[str, int] = {}
         for section in SECTIONS:
-            rendered = self._template(vendor, section).render({"device": data})
+            template, version = self._template(vendor, section)
+            template_versions[f"{vendor}/{section}.tmpl"] = version
+            rendered = template.render({"device": data})
             if rendered.strip():
                 parts.append(rendered.rstrip("\n"))
         config = DeviceConfig(
@@ -107,7 +191,9 @@ class ConfigGenerator:
             vendor=vendor,
             text="\n".join(parts) + "\n",
             data=data,
-            design_position=self._store.journal_position,
+            design_position=position,
+            read_set=read_set,
+            template_versions=template_versions,
         )
         self.golden[device.name] = config
         obs.counter("configgen.render", vendor=vendor).inc()
@@ -120,15 +206,95 @@ class ConfigGenerator:
     def generate_location(self, location: Model) -> dict[str, DeviceConfig]:
         """Generate configs for every device at a location (Figure 10)."""
         with obs.span("configgen.generate", location=location.name):
-            return {
-                device.name: self.generate_device(device)
+            configs = {
+                device.name: self._generate(device)
                 for device in fetch_location_devices(self._store, location)
             }
+        self._announce(list(configs.values()))
+        return configs
 
     def generate_devices(self, devices: list[Model]) -> dict[str, DeviceConfig]:
         """Generate configs for an explicit device list."""
         with obs.span("configgen.generate", devices=len(devices)):
-            return {device.name: self.generate_device(device) for device in devices}
+            configs = {device.name: self._generate(device) for device in devices}
+        self._announce(list(configs.values()))
+        return configs
+
+    # ------------------------------------------------------------------
+    # Incremental regeneration (the change-propagation pipeline)
+    # ------------------------------------------------------------------
+
+    def regenerate_dirty(
+        self, devices: list[Model] | None = None
+    ) -> IncrementalGenReport:
+        """Regenerate only the devices invalidated since their last generation.
+
+        For each device the journal slice since its golden config's
+        ``design_position`` is checked against the config's read-set; a
+        device is dirty when a record matches, when a template it rendered
+        with was bumped, when it has no golden config yet, or when its
+        golden config predates read tracking.  Clean devices keep their
+        golden config byte-for-byte — the incremental result is identical
+        to a full regeneration because the read-set is a superset of the
+        derivation's true dependencies.
+        """
+        if devices is None:
+            devices = self._store.all(Device)
+            retire_missing = True
+        else:
+            retire_missing = False
+        report = IncrementalGenReport()
+        # One journal slice per distinct generation position: most devices
+        # share a position after a full generation pass, so the slices are
+        # fetched O(distinct positions), not O(devices).
+        slices: dict[int, list[ChangeRecord]] = {}
+        dirty_devices: list[tuple[Model, str]] = []
+        with obs.span("configgen.regenerate_dirty", devices=len(devices)):
+            for device in devices:
+                reason = self._dirty_reason(device, slices, report)
+                if reason is None:
+                    report.skipped.append(device.name)
+                    obs.counter("configgen.skipped").inc()
+                else:
+                    report.dirty[device.name] = reason
+                    dirty_devices.append((device, reason))
+                    obs.counter("configgen.dirty").inc()
+            for device, _reason in dirty_devices:
+                report.regenerated[device.name] = self._generate(device)
+                obs.counter("configgen.regenerated").inc()
+            if retire_missing:
+                present = {device.name for device in devices}
+                for name in sorted(set(self.golden) - present):
+                    del self.golden[name]
+                    report.retired.append(name)
+        report.position = self._store.journal_position
+        self._announce(list(report.regenerated.values()))
+        return report
+
+    def _dirty_reason(
+        self,
+        device: Model,
+        slices: dict[int, list[ChangeRecord]],
+        report: IncrementalGenReport,
+    ) -> str | None:
+        """Why ``device`` needs regeneration, or ``None`` if still current."""
+        golden = self.golden.get(device.name)
+        if golden is None:
+            return "new"
+        if golden.read_set is None:
+            return "untracked"
+        for path, version in golden.template_versions.items():
+            if self.configerator.current_version(path) != version:
+                return "template"
+        records = slices.get(golden.design_position)
+        if records is None:
+            records = self._store.journal_since(golden.design_position)
+            slices[golden.design_position] = records
+        report.records_scanned += len(records)
+        match = golden.read_set.first_match(records)
+        if match is not None:
+            return f"{match.model}#{match.obj_id} {match.op.value}"
+        return None
 
     # ------------------------------------------------------------------
     # Staleness detection (section 8: "Stale Configs")
@@ -139,5 +305,8 @@ class ConfigGenerator:
 
         The paper recounts an outage from deploying configs generated
         before a later design change; deployment uses this check to warn.
+        A position *ahead* of the store's journal is stale too: after a
+        replica promotion loses the journal tail, a config generated
+        against the lost tail can no longer be trusted.
         """
-        return config.design_position < self._store.journal_position
+        return config.design_position != self._store.journal_position

@@ -10,13 +10,18 @@ models, and guarding config conformance.
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass, field
 
 from repro import faults, obs
 from repro.common.errors import RobotronError
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy
 from repro.configgen.configerator import Configerator
-from repro.configgen.generator import ConfigGenerator, DeviceConfig
+from repro.configgen.generator import (
+    ConfigGenerator,
+    DeviceConfig,
+    IncrementalGenReport,
+)
 from repro.deploy.deployer import DeployReport, Deployer
 from repro.deploy.guard import DeploymentGuard, HealthGate, RolloutResult
 from repro.deploy.phases import PhaseSpec
@@ -36,12 +41,29 @@ from repro.monitoring.backends import (
     TimeSeriesBackend,
 )
 from repro.monitoring.classifier import Classifier, default_rule_table
-from repro.monitoring.confmon import ConfigMonitor
+from repro.monitoring.confmon import ConfigDiscrepancy, ConfigMonitor
 from repro.monitoring.jobs import JobManager, JobSpec
 from repro.monitoring.syslog import SyslogCollector
 from repro.simulation.clock import EventScheduler, MINUTE
 
-__all__ = ["Robotron"]
+__all__ = ["IncrementalCycleReport", "Robotron"]
+
+
+@dataclass
+class IncrementalCycleReport:
+    """Outcome of one :meth:`Robotron.incremental_cycle` pass."""
+
+    #: What config generation found dirty (and regenerated).
+    generation: IncrementalGenReport
+    #: The deployment of the regenerated configs (None when nothing was
+    #: dirty or deployment was not requested).
+    deploy: DeployReport | None = None
+    #: Drift found by the prioritized ConfMon sweep afterwards.
+    discrepancies: list[ConfigDiscrepancy] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (self.deploy is None or self.deploy.ok) and not self.discrepancies
 
 #: The default periodic monitoring schedule (engine, data type, period s).
 DEFAULT_JOB_SPECS = (
@@ -224,6 +246,54 @@ class Robotron:
         )
 
     # ------------------------------------------------------------------
+    # The incremental change-propagation cycle
+    # ------------------------------------------------------------------
+
+    def incremental_cycle(
+        self,
+        *,
+        devices: list[Model] | None = None,
+        deploy: bool = True,
+        sweep: bool = True,
+        sweep_limit: int | None = None,
+    ) -> IncrementalCycleReport:
+        """Propagate FBNet changes end to end, touching only what changed.
+
+        The steady-state loop the paper's scale demands: regenerate the
+        configs whose read-sets match journal records since their last
+        generation (``regenerate_dirty``), push only those — with the
+        content-hash skip so byte-identical regenerations don't commit —
+        and point a prioritized ConfMon sweep at the devices that just
+        changed.  A cycle with no design changes is a cheap no-op.
+        """
+        with obs.span("robotron.incremental_cycle"):
+            generation = self.generator.regenerate_dirty(devices)
+            deploy_report = None
+            if deploy and generation.regenerated:
+                self._require_fleet()
+                assert self.deployer is not None
+                deploy_report = self.deployer.deploy(
+                    generation.regenerated, skip_unchanged=True
+                )
+            discrepancies: list[ConfigDiscrepancy] = []
+            if sweep and self.confmon is not None:
+                # Default budget: just the regenerated devices (they sort
+                # first in the priority queue); callers wanting a wider
+                # audit pass an explicit sweep_limit.
+                limit = (
+                    sweep_limit
+                    if sweep_limit is not None
+                    else len(generation.regenerated)
+                )
+                if limit != 0:
+                    discrepancies = self.confmon.priority_sweep(limit)
+        return IncrementalCycleReport(
+            generation=generation,
+            deploy=deploy_report,
+            discrepancies=discrepancies,
+        )
+
+    # ------------------------------------------------------------------
     # Stage 4: monitoring
     # ------------------------------------------------------------------
 
@@ -256,6 +326,9 @@ class Robotron:
             ),
         )
         self.collector.subscribe(self.confmon)
+        # Change propagation: freshly regenerated configs steer ConfMon's
+        # priority sweeps toward the devices that just changed.
+        self.generator.subscribe(self.confmon.note_regenerated)
         for spec in job_specs:
             self.jobs.add_job(spec)
 

@@ -8,6 +8,7 @@ safety mechanisms: dryrun, atomic, phased, and human confirmation.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
@@ -26,6 +27,12 @@ __all__ = ["DeployReport", "Deployer", "PhaseOutcome"]
 
 def _config_text(config: DeviceConfig | str) -> str:
     return config.text if isinstance(config, DeviceConfig) else config
+
+
+def _config_sha(config: DeviceConfig | str) -> str:
+    if isinstance(config, DeviceConfig):
+        return config.sha
+    return hashlib.sha256(config.encode()).hexdigest()
 
 
 @dataclass
@@ -222,12 +229,31 @@ class Deployer:
     # Plain and atomic incremental updates (section 5.3.2)
     # ------------------------------------------------------------------
 
-    def deploy(self, configs: Mapping[str, DeviceConfig | str]) -> DeployReport:
-        """Best-effort incremental update: failures don't undo successes."""
+    def unchanged(self, name: str, config: DeviceConfig | str) -> bool:
+        """Whether the device already runs ``config`` (content-hash match)."""
+        return self._fleet.get(name).running_sha == _config_sha(config)
+
+    def deploy(
+        self,
+        configs: Mapping[str, DeviceConfig | str],
+        *,
+        skip_unchanged: bool = False,
+    ) -> DeployReport:
+        """Best-effort incremental update: failures don't undo successes.
+
+        With ``skip_unchanged``, devices whose running config's SHA-256
+        already matches the candidate's are not touched (counted under
+        ``deploy.skip_unchanged`` and reported as skipped) — steady-state
+        rollouts only commit on the dirty subset of the fleet.
+        """
         report = DeployReport(operation="deploy")
         with obs.span("deploy.deploy", devices=len(configs)):
             for name, config in sorted(configs.items()):
                 device = self._fleet.get(name)
+                if skip_unchanged and self.unchanged(name, config):
+                    report.skipped.append(name)
+                    obs.counter("deploy.skip_unchanged", op="deploy").inc()
+                    continue
                 text = _config_text(config)
                 before = device.running_config
                 try:

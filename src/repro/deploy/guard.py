@@ -284,6 +284,7 @@ class DeploymentGuard:
         *,
         max_failure_ratio: float | None = None,
         bake_seconds: float = 60.0,
+        skip_unchanged: bool = False,
     ) -> RolloutResult:
         """Deploy phase by phase; bake; gate; roll back on any failure.
 
@@ -293,12 +294,36 @@ class DeploymentGuard:
         the health gate over the batch.  A push failure, open breaker, or
         failed gate aborts the rollout and restores *every* device
         touched so far to its last-known-good version.
+
+        With ``skip_unchanged``, devices already running their candidate
+        config (SHA-256 match) are excluded up front — no LKG pin, no
+        push, no gate membership — and land in ``report.skipped`` under
+        the ``deploy.skip_unchanged`` counter.
         """
         report = DeployReport(operation="guarded_rollout")
-        names = sorted(configs)
         scheduler = self._fleet.scheduler
         started_at = scheduler.clock.now
+        # The intent hash covers the full intent, including devices the
+        # content-hash skip then excludes — re-running the same rollout
+        # must produce the same hash regardless of fleet state.
         the_hash = intent_hash(configs)
+        if skip_unchanged:
+            unchanged = [
+                name
+                for name in sorted(configs)
+                if self._deployer.unchanged(name, configs[name])
+            ]
+            if unchanged:
+                report.skipped.extend(unchanged)
+                obs.counter(
+                    "deploy.skip_unchanged", op="guarded_rollout"
+                ).inc(len(unchanged))
+                configs = {
+                    name: config
+                    for name, config in configs.items()
+                    if name not in set(unchanged)
+                }
+        names = sorted(configs)
         result = RolloutResult(
             report=report, outcome=DeploymentOutcome.SUCCEEDED
         )

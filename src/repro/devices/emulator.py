@@ -13,6 +13,7 @@ fault injection.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -103,6 +104,7 @@ class EmulatedDevice:
 
         # Config state.
         self.running_config = ""
+        self._running_sha: str | None = None
         self.parsed = ParsedConfig()
         self.config_history: list[ConfigVersion] = []
         self.max_config_history = max_config_history
@@ -168,11 +170,26 @@ class EmulatedDevice:
     def supports_native_dryrun(self) -> bool:
         return self.vendor in NATIVE_DRYRUN_VENDORS
 
+    @property
+    def running_sha(self) -> str:
+        """SHA-256 of the running config, cached until the config changes.
+
+        Deployment's content-hash skip compares this against the golden
+        config's sha; every config mutation funnels through ``_apply`` or
+        ``erase``, which invalidate the cache.
+        """
+        if self._running_sha is None:
+            self._running_sha = hashlib.sha256(
+                self.running_config.encode()
+            ).hexdigest()
+        return self._running_sha
+
     def erase(self) -> None:
         """Erase to factory state (initial provisioning, section 5.3.1)."""
         self._require_alive()
         self._cancel_confirm()
         self.running_config = ""
+        self._running_sha = None
         self.parsed = ParsedConfig()
         self._notify_config_changed(log=False)
 
@@ -335,6 +352,7 @@ class EmulatedDevice:
             raise CommitError(f"{self.name}: {exc}") from None
         old_config = self.running_config
         self.running_config = text
+        self._running_sha = None
         self.parsed = parsed
         self.config_history.append(
             ConfigVersion(

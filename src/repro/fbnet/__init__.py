@@ -23,6 +23,7 @@ The package provides, mirroring the paper:
 """
 
 from repro.fbnet.base import Model, ModelGroup, model_registry
+from repro.fbnet.changelog import ChangeLog, ReadSet
 from repro.fbnet.query import And, Expr, Not, Op, Or, Query
 from repro.fbnet.store import ObjectStore
 
@@ -33,6 +34,7 @@ from repro.fbnet import models as _models  # noqa: E402,F401  (registration side
 
 __all__ = [
     "And",
+    "ChangeLog",
     "Expr",
     "Model",
     "ModelGroup",
@@ -41,5 +43,6 @@ __all__ = [
     "Op",
     "Or",
     "Query",
+    "ReadSet",
     "model_registry",
 ]

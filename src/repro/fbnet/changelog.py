@@ -1,0 +1,297 @@
+"""Change propagation over the FBNet journal: read-sets and the ChangeLog.
+
+The store's journal (:class:`~repro.fbnet.store.ChangeRecord`) has always
+recorded *what changed*; this module turns it into a propagation layer by
+also capturing *who read what*.  A :class:`ReadSet` records the objects,
+indexed lookups, and model scans one computation performed (the store
+fills it in while a :meth:`~repro.fbnet.store.ObjectStore.track_reads`
+block is active), and can then decide whether a later journal record
+invalidates that computation.  The :class:`ChangeLog` is the query facade
+over the journal itself: per-model and per-object lookup since a
+position.
+
+Together they power incremental config generation (paper section 5.3/8:
+regenerating tens of thousands of devices from scratch is both too slow
+and the root cause of the "stale configs" outage): each generated config
+carries the read-set of its derivation, and
+``ConfigGenerator.regenerate_dirty()`` maps journal records to the
+configs they invalidate instead of regenerating the world.
+
+Dependency kinds, from most to least precise:
+
+* **object** ``(model, id)`` — a ``get()``/``related()`` resolution;
+  matches records for exactly that object.
+* **field** ``(model, field, values)`` — an equality lookup (FK reverse
+  edge, unique index, or an analyzable equality query); matches records
+  whose post-change value for ``field`` is in ``values`` — or, for
+  updates, records where ``field`` itself changed (the old value may
+  have matched, e.g. an interface moving between devices must dirty both
+  ends).
+* **model** ``(model,)`` — a full scan or unanalyzable query; matches
+  every record of the model or its subclasses.  Conservative but always
+  correct: the equivalence guarantee (incremental ≡ full) rests on each
+  fallback being a superset of the true dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.fbnet.base import model_registry
+from repro.fbnet.query import And, Expr, Op, Or, Query
+
+if TYPE_CHECKING:
+    from repro.fbnet.base import Model
+    from repro.fbnet.store import ChangeRecord, ObjectStore
+
+__all__ = ["ChangeLog", "ReadSet", "equality_dependencies", "query_models"]
+
+
+#: model name -> that model's family names (itself + every Model ancestor),
+#: so deps recorded against an abstract base (e.g. ``Device``) match records
+#: of its concrete subclasses (e.g. ``PeeringRouter``).
+_FAMILY_CACHE: dict[str, tuple[str, ...]] = {}
+
+
+def _family(model_name: str) -> tuple[str, ...]:
+    cached = _FAMILY_CACHE.get(model_name)
+    if cached is not None:
+        return cached
+    try:
+        cls = model_registry.get(model_name)
+    except KeyError:
+        family: tuple[str, ...] = (model_name,)
+    else:
+        family = tuple(
+            klass.__name__
+            for klass in cls.__mro__
+            if getattr(klass, "_meta", None) is not None
+            and klass.__name__ != "Model"
+        )
+    _FAMILY_CACHE[model_name] = family
+    return family
+
+
+def _norm(value: Any) -> Any:
+    """Normalize a value for dependency comparison (mirrors index hashing)."""
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value
+
+
+def equality_dependencies(query: Query) -> list[tuple[str, tuple[Any, ...]]] | None:
+    """Decompose ``query`` into ``(field, values)`` equality dependencies.
+
+    Returns ``None`` when the query cannot be reduced to local-field
+    equality tests (dotted paths, ordered/regex/null operators, ``Not``)
+    — the caller must then fall back to a model-level dependency.
+
+    ``And`` only needs one analyzable child: its result set is a subset
+    of that child's matches, and any record that could change membership
+    either matches the child's values (new state matches) or changed the
+    child's field (old state matched).  ``Or`` needs *every* child
+    analyzable, since a record may affect membership through any branch.
+    """
+    if isinstance(query, Expr):
+        if query.op is not Op.EQUAL or "." in query.field:
+            return None
+        return [(query.field, tuple(_norm(v) for v in query.rvalues))]
+    if isinstance(query, Or):
+        deps: list[tuple[str, tuple[Any, ...]]] = []
+        for child in query.children:
+            child_deps = equality_dependencies(child)
+            if child_deps is None:
+                return None
+            deps.extend(child_deps)
+        return deps
+    if isinstance(query, And):
+        for child in query.children:
+            child_deps = equality_dependencies(child)
+            if child_deps is not None:
+                return child_deps
+        return None
+    return None
+
+
+def _iter_exprs(query: Query) -> Iterable[Expr]:
+    if isinstance(query, Expr):
+        yield query
+    elif isinstance(query, (And, Or)):
+        for child in query.children:
+            yield from _iter_exprs(child)
+    else:  # Not
+        child = getattr(query, "child", None)
+        if child is not None:
+            yield from _iter_exprs(child)
+
+
+def query_models(model: type[Model], query: Query) -> set[str]:
+    """Every model name an unanalyzable ``query`` could depend on.
+
+    The conservative fallback for a query the equality analyzer rejects:
+    the queried model itself, plus — for dotted paths — every model the
+    path traverses, since membership also changes when a *traversed*
+    object mutates (e.g. ``pop.name == "x"`` depends on Pop records, not
+    just the queried device records).
+    """
+    from repro.fbnet.fields import ForeignKey
+
+    names = {model.__name__}
+    for expr in _iter_exprs(query):
+        current: list[type] = [model]
+        for part in expr.field.split("."):
+            next_models: list[type] = []
+            for klass in current:
+                meta = getattr(klass, "_meta", None)
+                if meta is None or part == "id":
+                    continue
+                fk = meta.fields.get(part)
+                if isinstance(fk, ForeignKey):
+                    names.add(fk.to.__name__)
+                    next_models.append(fk.to)
+                    continue
+                if fk is not None:
+                    continue  # value field: terminal, no hop
+                reverse = model_registry.reverse_relations(klass)
+                if part in reverse:
+                    source_model, _fk_name = reverse[part]
+                    names.add(source_model.__name__)
+                    next_models.append(source_model)
+            current = next_models
+            if not current:
+                break
+    return names
+
+
+@dataclass
+class ReadSet:
+    """Everything one computation read from an :class:`ObjectStore`.
+
+    Filled in by the store while a ``track_reads`` block is active;
+    afterwards :meth:`matches` answers "does this journal record
+    invalidate the computation?" in O(record fields).
+    """
+
+    #: Model names read via full scans / unanalyzable queries.
+    models: set[str] = field(default_factory=set)
+    #: ``(model, id)`` pairs read individually.
+    objects: set[tuple[str, int]] = field(default_factory=set)
+    #: ``model -> field -> normalized values`` equality lookups.
+    fields: dict[str, dict[str, set[Any]]] = field(default_factory=dict)
+
+    # -- recording (called by the store) ------------------------------------
+
+    def add_model(self, model_name: str) -> None:
+        self.models.add(model_name)
+
+    def add_object(self, model_name: str, obj_id: int) -> None:
+        self.objects.add((model_name, obj_id))
+
+    def add_field(self, model_name: str, field_name: str, values: Iterable[Any]) -> None:
+        bucket = self.fields.setdefault(model_name, {}).setdefault(field_name, set())
+        for value in values:
+            bucket.add(_norm(value))
+
+    def merge(self, other: ReadSet) -> None:
+        self.models |= other.models
+        self.objects |= other.objects
+        for model_name, per_field in other.fields.items():
+            for field_name, values in per_field.items():
+                self.add_field(model_name, field_name, values)
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return (
+            len(self.models)
+            + len(self.objects)
+            + sum(len(v) for per in self.fields.values() for v in per.values())
+        )
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    # -- invalidation -------------------------------------------------------
+
+    def matches(self, record: ChangeRecord) -> bool:
+        """Whether ``record`` could change what this computation read."""
+        family = _family(record.model)
+        if self.models and not self.models.isdisjoint(family):
+            return True
+        if self.objects:
+            for name in family:
+                if (name, record.obj_id) in self.objects:
+                    return True
+        if self.fields:
+            changed = record.changed_fields
+            for name in family:
+                per_field = self.fields.get(name)
+                if not per_field:
+                    continue
+                for field_name, values in per_field.items():
+                    if field_name in changed:
+                        # The field itself changed: the *old* value may
+                        # have matched even though the new one does not.
+                        return True
+                    if _norm(record.values.get(field_name)) in values:
+                        return True
+        return False
+
+    def first_match(self, records: Iterable[ChangeRecord]) -> ChangeRecord | None:
+        """The first record in ``records`` that invalidates this read-set."""
+        for record in records:
+            if self.matches(record):
+                return record
+        return None
+
+
+class ChangeLog:
+    """Query facade over one store's committed change journal.
+
+    The store exposes the raw journal as a list; this facade adds the
+    per-model / per-object lookups the propagation layer needs, all
+    anchored at a *position* (``store.journal_position`` at some earlier
+    moment) so callers only ever see the delta they have not processed.
+    """
+
+    def __init__(self, store: ObjectStore):
+        self._store = store
+
+    @property
+    def position(self) -> int:
+        """The current journal position (records committed so far)."""
+        return self._store.journal_position
+
+    def since(self, position: int) -> list[ChangeRecord]:
+        """All records committed at or after ``position``, in order."""
+        return self._store.journal_since(position)
+
+    def for_model(
+        self, model: type[Model] | str, since: int = 0
+    ) -> list[ChangeRecord]:
+        """Records touching ``model`` (or any subclass) since ``position``."""
+        name = model if isinstance(model, str) else model.__name__
+        return [
+            record
+            for record in self.since(since)
+            if name in _family(record.model)
+        ]
+
+    def for_object(
+        self, model: type[Model] | str, obj_id: int, since: int = 0
+    ) -> list[ChangeRecord]:
+        """Records touching one object since ``position``."""
+        name = model if isinstance(model, str) else model.__name__
+        return [
+            record
+            for record in self.since(since)
+            if record.obj_id == obj_id and name in _family(record.model)
+        ]
+
+    def models_changed(self, since: int = 0) -> set[str]:
+        """The concrete model names with at least one record since ``position``."""
+        return {record.model for record in self.since(since)}

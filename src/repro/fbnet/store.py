@@ -30,6 +30,7 @@ from repro.common.errors import (
     TransactionError,
 )
 from repro.fbnet.base import Model, model_registry
+from repro.fbnet.changelog import ReadSet, equality_dependencies, query_models
 from repro.fbnet.fields import ForeignKey, OnDelete
 from repro.fbnet.query import Query, ensure_query
 
@@ -107,6 +108,72 @@ class ObjectStore:
         self._pending_records: list[ChangeRecord] = []
         self._current_txn_id: int | None = None
         self._txn_started_at: float | None = None
+
+        # Active read trackers (see track_reads); reads are recorded into
+        # every tracker on the stack, so nested computations compose.
+        self._read_trackers: list[ReadSet] = []
+
+    # ------------------------------------------------------------------
+    # Read tracking (change propagation, see repro.fbnet.changelog)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def track_reads(self, read_set: ReadSet | None = None) -> Iterator[ReadSet]:
+        """Record every read inside the block into ``read_set``.
+
+        The resulting :class:`~repro.fbnet.changelog.ReadSet` can later be
+        matched against journal records to decide whether the computation
+        that performed the reads needs to be redone.
+        """
+        read_set = read_set if read_set is not None else ReadSet()
+        self._read_trackers.append(read_set)
+        try:
+            yield read_set
+        finally:
+            self._read_trackers.pop()
+
+    def _note_model_read(self, model: type[Model]) -> None:
+        for tracker in self._read_trackers:
+            tracker.add_model(model.__name__)
+
+    def _note_object_read(self, obj: Model) -> None:
+        if obj.id is not None:
+            for tracker in self._read_trackers:
+                tracker.add_object(type(obj).__name__, obj.id)
+
+    def _note_field_read(
+        self, model_name: str, field_name: str, values: tuple[Any, ...]
+    ) -> None:
+        for tracker in self._read_trackers:
+            tracker.add_field(model_name, field_name, values)
+
+    def _note_query_read(self, model: type[Model], query: Query) -> None:
+        """Record a full-scan query: field deps when analyzable, else models.
+
+        The unanalyzable fallback covers every model the query's paths
+        traverse, so evaluating ``query.matches`` during the scan runs
+        under :meth:`_suspend_tracking` — the FK hops it resolves through
+        the store are membership tests, not semantic reads, and recording
+        them would drag every scanned candidate into the read-set.
+        """
+        if not self._read_trackers:
+            return
+        deps = equality_dependencies(query)
+        if deps is None:
+            for name in query_models(model, query):
+                for tracker in self._read_trackers:
+                    tracker.add_model(name)
+            return
+        for field_name, values in deps:
+            self._note_field_read(model.__name__, field_name, values)
+
+    @contextmanager
+    def _suspend_tracking(self) -> Iterator[None]:
+        trackers, self._read_trackers = self._read_trackers, []
+        try:
+            yield
+        finally:
+            self._read_trackers = trackers
 
     # ------------------------------------------------------------------
     # Transactions
@@ -509,6 +576,7 @@ class ObjectStore:
     ) -> list[Model]:
         """Objects of ``source_model`` whose ``fk_name`` points at ``obj``."""
         assert obj.id is not None
+        self._note_field_read(source_model.__name__, fk_name, (obj.id,))
         ids = self._reverse_index.get((source_model.__name__, fk_name), {}).get(
             obj.id, set()
         )
@@ -526,6 +594,7 @@ class ObjectStore:
         found = self._resolve(model, obj_id)
         if found is None:
             raise ObjectDoesNotExist(f"no {model.__name__} with id {obj_id}")
+        self._note_object_read(found)
         return found
 
     def _resolve(self, model: type[M], obj_id: int) -> M | None:
@@ -539,13 +608,16 @@ class ObjectStore:
                     return obj  # type: ignore[return-value]
         return None
 
-    def all(self, model: type[M]) -> list[M]:
-        """All objects of ``model``, including subclasses, ordered by id."""
-        rows: list[M] = []
+    def _iter_rows(self, model: type[M]) -> Iterator[M]:
+        """Every row of ``model`` (and subclasses), unsorted and untracked."""
         for concrete in model_registry.all():
             if issubclass(concrete, model):
-                rows.extend(self._tables.get(concrete.__name__, {}).values())  # type: ignore[arg-type]
-        return sorted(rows, key=lambda o: o.id or 0)
+                yield from self._tables.get(concrete.__name__, {}).values()  # type: ignore[misc]
+
+    def all(self, model: type[M]) -> list[M]:
+        """All objects of ``model``, including subclasses, ordered by id."""
+        self._note_model_read(model)
+        return sorted(self._iter_rows(model), key=lambda o: o.id or 0)
 
     def filter(self, model: type[M], query: Query | None = None) -> list[M]:
         """Objects of ``model`` matching ``query`` (all if ``None``)."""
@@ -557,7 +629,12 @@ class ObjectStore:
             fast = self._indexed_filter(model, query)
             if fast is not None:
                 return fast
-            return [obj for obj in self.all(model) if query.matches(obj)]
+            self._note_query_read(model, query)
+            with self._suspend_tracking():
+                return sorted(
+                    (obj for obj in self._iter_rows(model) if query.matches(obj)),
+                    key=lambda o: o.id or 0,
+                )
 
     def _indexed_filter(self, model: type[M], query: Query) -> list[M] | None:
         """Serve single-FK equality queries from the reverse index.
@@ -574,6 +651,7 @@ class ObjectStore:
             return None
         rows: list[M] = []
         served = False
+        read_deps: list[str] = []
         fk_values_ok = all(isinstance(rv, int) for rv in query.rvalues)
         for concrete in model_registry.all():
             if not issubclass(concrete, model):
@@ -586,6 +664,7 @@ class ObjectStore:
                 if not fk_values_ok:
                     return None
                 served = True
+                read_deps.append(concrete.__name__)
                 table = self._tables.get(concrete.__name__, {})
                 buckets = self._reverse_index.get(
                     (concrete.__name__, query.field), {}
@@ -597,6 +676,7 @@ class ObjectStore:
                             rows.append(obj)  # type: ignore[arg-type]
             elif field.unique:
                 served = True
+                read_deps.append(concrete.__name__)
                 root = self._family_root(concrete)
                 bucket = self._unique_index.get((root, query.field), {})
                 for rvalue in query.rvalues:
@@ -611,21 +691,41 @@ class ObjectStore:
                 return None
         if not served:
             return None
+        if self._read_trackers:
+            for name in read_deps:
+                self._note_field_read(name, query.field, query.rvalues)
         return sorted(set(rows), key=lambda o: o.id or 0)
 
     def count(self, model: type[M], query: Query | None = None) -> int:
-        return len(self.filter(model, query))
+        """Number of matching objects, without materializing a sorted list."""
+        ensure_query(query)
+        obs.counter("store.query", store=self.name, model=model.__name__).inc()
+        if query is None:
+            self._note_model_read(model)
+            return sum(
+                len(self._tables.get(concrete.__name__, ()))
+                for concrete in model_registry.all()
+                if issubclass(concrete, model)
+            )
+        fast = self._indexed_filter(model, query)
+        if fast is not None:
+            return len(fast)
+        self._note_query_read(model, query)
+        with self._suspend_tracking():
+            return sum(1 for obj in self._iter_rows(model) if query.matches(obj))
 
     def exists(self, model: type[M], query: Query | None = None) -> bool:
+        """Whether any object matches; short-circuits on the first hit."""
         ensure_query(query)
         if query is not None:
             fast = self._indexed_filter(model, query)
             if fast is not None:
                 return bool(fast)
-        for obj in self.all(model):
-            if query is None or query.matches(obj):
-                return True
-        return False
+            self._note_query_read(model, query)
+            with self._suspend_tracking():
+                return any(query.matches(obj) for obj in self._iter_rows(model))
+        self._note_model_read(model)
+        return any(True for _ in self._iter_rows(model))
 
     def first(self, model: type[M], query: Query | None = None) -> M | None:
         ensure_query(query)
@@ -633,10 +733,15 @@ class ObjectStore:
             fast = self._indexed_filter(model, query)
             if fast is not None:
                 return fast[0] if fast else None
-        for obj in self.all(model):
-            if query is None or query.matches(obj):
-                return obj
-        return None
+            self._note_query_read(model, query)
+            with self._suspend_tracking():
+                return min(
+                    (obj for obj in self._iter_rows(model) if query.matches(obj)),
+                    key=lambda o: o.id or 0,
+                    default=None,
+                )
+        self._note_model_read(model)
+        return min(self._iter_rows(model), key=lambda o: o.id or 0, default=None)
 
     # ------------------------------------------------------------------
     # Journal / replication hooks

@@ -15,7 +15,8 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.configgen.generator import ConfigGenerator
+from repro import obs
+from repro.configgen.generator import ConfigGenerator, DeviceConfig
 from repro.deploy.diff import unified_diff
 from repro.devices.fleet import DeviceFleet
 from repro.monitoring.backends import ConfigBackupBackend
@@ -54,6 +55,11 @@ class ConfigMonitor:
         self._notify = notifier or (lambda _d: None)
         #: Every discrepancy detected, newest last.
         self.discrepancies: list[ConfigDiscrepancy] = []
+        #: Device -> sim time its golden config was last regenerated.
+        #: Fed by ``ConfigGenerator.subscribe``; drained by priority sweeps.
+        self._recent: dict[str, float] = {}
+        #: Device -> sim time it was last checked (any trigger).
+        self._last_checked: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Passive trigger
@@ -76,6 +82,8 @@ class ConfigMonitor:
         revision, and raises a discrepancy alert if the config deviates
         from the Robotron-generated one.
         """
+        self._last_checked[device_name] = self._jobs.scheduler.clock.now
+        self._recent.pop(device_name, None)
         record = self._jobs.run_adhoc(
             "cli", "running-config", device_name, backends=(self.backup.name,)
         )
@@ -108,6 +116,54 @@ class ConfigMonitor:
     def check_all(self) -> list[ConfigDiscrepancy]:
         """Sweep the whole fleet (periodic audit)."""
         return self.check_devices(list(self._fleet.devices))
+
+    # ------------------------------------------------------------------
+    # Regeneration-aware prioritization (change propagation)
+    # ------------------------------------------------------------------
+
+    def note_regenerated(self, configs: list[DeviceConfig]) -> None:
+        """Record freshly regenerated devices for prioritized sweeping.
+
+        Subscribed to :meth:`ConfigGenerator.subscribe`: devices whose
+        golden just changed are exactly the ones whose running configs
+        are about to be (or should have been) updated, so drift sweeps
+        should look there first.
+        """
+        now = self._jobs.scheduler.clock.now
+        for config in configs:
+            self._recent[config.device_name] = now
+
+    def priority_sweep(self, limit: int | None = None) -> list[ConfigDiscrepancy]:
+        """Sweep with just-regenerated devices first.
+
+        Ordering: devices regenerated since their last check, newest
+        regeneration first; then the rest of the fleet, least recently
+        checked first.  With ``limit``, only the first ``limit`` devices
+        are checked — the budgeted form a periodic job uses to keep sweep
+        cost bounded while still converging on fresh changes fast.
+        """
+        fresh = sorted(
+            (name for name in self._recent if name in self._fleet.devices),
+            key=lambda name: -self._recent[name],
+        )
+        rest = sorted(
+            (name for name in self._fleet.devices if name not in self._recent),
+            key=lambda name: (self._last_checked.get(name, 0.0), name),
+        )
+        queue = fresh + rest
+        if limit is not None:
+            queue = queue[:limit]
+        obs.counter("confmon.priority_sweep").inc()
+        if fresh:
+            obs.counter("confmon.priority_sweep.fresh").inc(
+                len([name for name in queue if name in self._recent])
+            )
+        found = []
+        for name in queue:
+            discrepancy = self.check_device(name)
+            if discrepancy is not None:
+                found.append(discrepancy)
+        return found
 
     # ------------------------------------------------------------------
     # Remediation

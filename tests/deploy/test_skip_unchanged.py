@@ -1,0 +1,161 @@
+"""Content-hash deployment skipping: unchanged devices are never touched.
+
+Steady-state rollouts driven by incremental generation mostly carry
+configs the fleet already runs; the deployer compares the candidate's
+SHA-256 against the on-box running config and skips the match — no
+commit, no version bump, no gate membership.
+"""
+
+import pytest
+
+from repro import obs
+from repro.configgen.generator import DeviceConfig
+from repro.deploy.deployer import Deployer
+from repro.deploy.guard import DeploymentGuard
+from repro.deploy.phases import PhaseSpec
+from repro.devices.fleet import DeviceFleet
+from repro.fbnet.store import ObjectStore
+from repro.simulation.clock import EventScheduler
+
+pytestmark = pytest.mark.incremental
+
+
+def config(name, mtu=9192):
+    return f"hostname {name}\ninterface ae0\n mtu {mtu}\n no shutdown\n!\n"
+
+
+@pytest.fixture
+def rig():
+    sched = EventScheduler()
+    fleet = DeviceFleet(sched)
+    for index in range(4):
+        fleet.add_device(f"pop01.d{index}", "vendor1", role="psw")
+    deployer = Deployer(fleet)
+    for name in fleet.devices:
+        fleet.get(name).commit(config(name))
+    return fleet, deployer, sched
+
+
+class TestRunningSha:
+    def test_tracks_commits_and_erase(self, rig):
+        import hashlib
+
+        fleet, _, _ = rig
+        device = fleet.get("pop01.d0")
+        text = config("pop01.d0")
+        assert device.running_sha == hashlib.sha256(text.encode()).hexdigest()
+        device.commit(config("pop01.d0", mtu=1500))
+        assert (
+            device.running_sha
+            == hashlib.sha256(device.running_config.encode()).hexdigest()
+        )
+        device.erase()
+        assert device.running_sha == hashlib.sha256(b"").hexdigest()
+
+
+class TestDeployerSkip:
+    def test_unchanged_devices_are_skipped(self, rig):
+        fleet, deployer, _ = rig
+        versions = fleet.config_versions()
+        configs = {name: config(name) for name in fleet.devices}
+        report = deployer.deploy(configs, skip_unchanged=True)
+        assert report.ok
+        assert sorted(report.skipped) == sorted(fleet.devices)
+        assert not report.succeeded
+        # Skipping really is a no-op: no new config versions committed.
+        assert fleet.config_versions() == versions
+        assert obs.counter("deploy.skip_unchanged", op="deploy").value == 4
+
+    def test_changed_devices_still_pushed(self, rig):
+        fleet, deployer, _ = rig
+        configs = {name: config(name) for name in fleet.devices}
+        configs["pop01.d2"] = config("pop01.d2", mtu=9000)
+        report = deployer.deploy(configs, skip_unchanged=True)
+        assert report.succeeded == ["pop01.d2"]
+        assert sorted(report.skipped) == ["pop01.d0", "pop01.d1", "pop01.d3"]
+        assert fleet.get("pop01.d2").parsed.interfaces["ae0"].mtu == 9000
+
+    def test_default_deploy_pushes_everything(self, rig):
+        fleet, deployer, _ = rig
+        versions = fleet.config_versions()
+        report = deployer.deploy({name: config(name) for name in fleet.devices})
+        assert sorted(report.succeeded) == sorted(fleet.devices)
+        assert not report.skipped
+        # Identical text still commits a new version without the flag.
+        assert all(
+            fleet.config_versions()[name] > versions[name]
+            for name in fleet.devices
+        )
+
+    def test_device_config_objects_compare_by_sha(self, rig):
+        fleet, deployer, _ = rig
+        golden = DeviceConfig(
+            device_name="pop01.d0", vendor="vendor1", text=config("pop01.d0")
+        )
+        assert deployer.unchanged("pop01.d0", golden)
+        report = deployer.deploy({"pop01.d0": golden}, skip_unchanged=True)
+        assert report.skipped == ["pop01.d0"]
+
+
+class TestGuardedRolloutSkip:
+    PHASES = [
+        PhaseSpec(name="canary", percentage=25, bake_seconds=0.0),
+        PhaseSpec(name="rest", percentage=100, bake_seconds=0.0),
+    ]
+
+    @pytest.fixture
+    def record_store(self):
+        return ObjectStore()
+
+    @pytest.fixture
+    def guard(self, rig, record_store):
+        fleet, deployer, _ = rig
+        return DeploymentGuard(deployer, fleet, store=record_store)
+
+    def test_all_unchanged_rollout_is_trivial(self, rig, guard):
+        fleet, _, _ = rig
+        versions = fleet.config_versions()
+        configs = {name: config(name) for name in fleet.devices}
+        result = guard.rollout(
+            configs, self.PHASES, bake_seconds=0.0, skip_unchanged=True
+        )
+        assert result.ok
+        assert sorted(result.report.skipped) == sorted(fleet.devices)
+        assert not result.report.succeeded
+        assert fleet.config_versions() == versions
+        counter = obs.counter("deploy.skip_unchanged", op="guarded_rollout")
+        assert counter.value == 4
+
+    def test_only_changed_subset_is_rolled_out(self, rig, guard):
+        fleet, _, _ = rig
+        versions = fleet.config_versions()
+        configs = {name: config(name) for name in fleet.devices}
+        configs["pop01.d1"] = config("pop01.d1", mtu=9000)
+        result = guard.rollout(
+            configs, self.PHASES, bake_seconds=0.0, skip_unchanged=True
+        )
+        assert result.ok
+        assert result.report.succeeded == ["pop01.d1"]
+        assert sorted(result.report.skipped) == [
+            "pop01.d0", "pop01.d2", "pop01.d3",
+        ]
+        # LKG pins only cover the active subset.
+        assert set(guard.lkg) == {"pop01.d1"}
+        untouched = {n: v for n, v in fleet.config_versions().items()
+                     if n != "pop01.d1"}
+        assert untouched == {n: v for n, v in versions.items()
+                            if n != "pop01.d1"}
+
+    def test_intent_hash_covers_the_full_intent(self, rig, guard, record_store):
+        """The same intent hashes identically whatever the fleet runs."""
+        from repro.deploy.guard import intent_hash
+        from repro.fbnet.models import DeploymentRecord
+
+        fleet, _, _ = rig
+        configs = {name: config(name) for name in fleet.devices}
+        configs["pop01.d1"] = config("pop01.d1", mtu=9000)
+        guard.rollout(
+            configs, self.PHASES, bake_seconds=0.0, skip_unchanged=True
+        )
+        [record] = record_store.all(DeploymentRecord)
+        assert record.intent_hash == intent_hash(configs)

@@ -1,0 +1,224 @@
+"""Tests for read tracking and the ChangeLog journal facade."""
+
+import pytest
+
+from repro.fbnet.changelog import ChangeLog, ReadSet, equality_dependencies
+from repro.fbnet.models import (
+    Device,
+    NetworkDomain,
+    PeeringRouter,
+    Pop,
+    Region,
+)
+from repro.fbnet.query import And, Expr, Not, Op, Or
+from repro.fbnet.store import ChangeOp
+
+pytestmark = pytest.mark.incremental
+
+
+@pytest.fixture
+def pr(store, env):
+    return store.create(
+        PeeringRouter,
+        name="pr1",
+        hardware_profile=env.profiles["Router_Vendor1"],
+        pop=env.pops["pop01"],
+    )
+
+
+class TestTrackReads:
+    def test_get_records_object_dep(self, store):
+        region = store.create(Region, name="r1")
+        with store.track_reads() as reads:
+            store.get(Region, region.id)
+        assert ("Region", region.id) in reads.objects
+
+    def test_all_records_model_dep(self, store):
+        with store.track_reads() as reads:
+            store.all(Region)
+        assert "Region" in reads.models
+
+    def test_indexed_filter_records_field_dep(self, store, env, pr):
+        with store.track_reads() as reads:
+            store.filter(PeeringRouter, Expr("name", Op.EQUAL, "pr1"))
+        assert "pr1" in reads.fields["PeeringRouter"]["name"]
+        assert not reads.models  # no conservative fallback needed
+
+    def test_unanalyzable_query_falls_back_to_model(self, store):
+        store.create(Region, name="r1")
+        with store.track_reads() as reads:
+            store.filter(Region, Expr("name", Op.STARTSWITH, "r"))
+        assert "Region" in reads.models
+
+    def test_related_records_object_dep(self, store, env, pr):
+        with store.track_reads() as reads:
+            pr.related("pop")
+        assert ("Pop", env.pops["pop01"].id) in reads.objects
+
+    def test_reverse_relation_records_fk_dep(self, store, env, pr):
+        pop = env.pops["pop01"]
+        with store.track_reads() as reads:
+            list(pop.peering_routers)
+        assert pop.id in reads.fields["PeeringRouter"]["pop"]
+
+    def test_nested_trackers_both_record(self, store):
+        region = store.create(Region, name="r1")
+        with store.track_reads() as outer:
+            with store.track_reads() as inner:
+                store.get(Region, region.id)
+        assert ("Region", region.id) in inner.objects
+        assert ("Region", region.id) in outer.objects
+
+    def test_no_tracking_outside_block(self, store):
+        region = store.create(Region, name="r1")
+        with store.track_reads() as reads:
+            pass
+        store.get(Region, region.id)
+        assert not reads
+
+
+class TestEqualityDependencies:
+    def test_plain_equality(self):
+        deps = equality_dependencies(Expr("name", Op.EQUAL, "x"))
+        assert deps == [("name", ("x",))]
+
+    def test_or_unions_children(self):
+        deps = equality_dependencies(
+            Or(Expr("device", Op.EQUAL, 1), Expr("peer_device", Op.EQUAL, 1))
+        )
+        assert deps == [("device", (1,)), ("peer_device", (1,))]
+
+    def test_or_with_unanalyzable_child_bails(self):
+        assert (
+            equality_dependencies(
+                Or(Expr("a", Op.EQUAL, 1), Expr("b", Op.GT, 2))
+            )
+            is None
+        )
+
+    def test_and_uses_first_analyzable_child(self):
+        deps = equality_dependencies(
+            And(Expr("a", Op.GT, 0), Expr("b", Op.EQUAL, 2))
+        )
+        assert deps == [("b", (2,))]
+
+    def test_dotted_path_not_analyzable(self):
+        assert equality_dependencies(Expr("pop.name", Op.EQUAL, "x")) is None
+
+    def test_not_never_analyzable(self):
+        assert equality_dependencies(Not(Expr("a", Op.EQUAL, 1))) is None
+
+
+class TestReadSetMatching:
+    def test_object_dep_matches_update(self, store, env, pr):
+        reads = ReadSet()
+        reads.add_object("PeeringRouter", pr.id)
+        position = store.journal_position
+        store.update(pr, name="pr1-renamed")
+        (record,) = store.journal_since(position)
+        assert reads.matches(record)
+
+    def test_object_dep_via_abstract_base(self, store, env, pr):
+        # generate_device records the device as its concrete class; a dep
+        # recorded against the abstract base must still match.
+        reads = ReadSet()
+        reads.add_object("Device", pr.id)
+        position = store.journal_position
+        store.update(pr, name="pr1-renamed")
+        (record,) = store.journal_since(position)
+        assert reads.matches(record)
+
+    def test_field_dep_matches_create(self, store, env):
+        reads = ReadSet()
+        reads.add_field("Pop", "region", (env.regions["na-east"].id,))
+        position = store.journal_position
+        store.create(
+            Pop,
+            name="pop-new",
+            region=env.regions["na-east"],
+            domain=NetworkDomain.POP,
+        )
+        (record,) = store.journal_since(position)
+        assert record.op is ChangeOp.CREATE
+        assert reads.matches(record)
+
+    def test_field_dep_matches_changed_field_even_without_value(
+        self, store, env, pr
+    ):
+        # pr moves from pop01 to pop02: a computation keyed on pop01 no
+        # longer sees it, so the update must match via changed_fields even
+        # though the *new* value is pop02.
+        reads = ReadSet()
+        reads.add_field("PeeringRouter", "pop", (env.pops["pop01"].id,))
+        position = store.journal_position
+        store.update(pr, pop=env.pops["pop02"])
+        (record,) = store.journal_since(position)
+        assert reads.matches(record)
+
+    def test_unrelated_record_does_not_match(self, store, env, pr):
+        reads = ReadSet()
+        reads.add_object("PeeringRouter", pr.id)
+        reads.add_field("PeeringRouter", "pop", (env.pops["pop01"].id,))
+        position = store.journal_position
+        store.create(Region, name="elsewhere")
+        (record,) = store.journal_since(position)
+        assert not reads.matches(record)
+
+    def test_model_dep_matches_any_family_record(self, store, env, pr):
+        reads = ReadSet()
+        reads.add_model("Device")
+        position = store.journal_position
+        store.update(pr, name="pr1-renamed")
+        (record,) = store.journal_since(position)
+        assert reads.matches(record)
+
+    def test_merge_combines_dependencies(self):
+        left, right = ReadSet(), ReadSet()
+        left.add_object("Region", 1)
+        right.add_model("Pop")
+        right.add_field("Device", "name", ("x",))
+        left.merge(right)
+        assert ("Region", 1) in left.objects
+        assert "Pop" in left.models
+        assert "x" in left.fields["Device"]["name"]
+        assert len(left) == 3
+
+
+class TestChangeLog:
+    def test_position_tracks_store(self, store):
+        log = ChangeLog(store)
+        before = log.position
+        store.create(Region, name="r1")
+        assert log.position == before + 1
+        assert log.position == store.journal_position
+
+    def test_since_returns_delta(self, store):
+        log = ChangeLog(store)
+        store.create(Region, name="r1")
+        position = log.position
+        r2 = store.create(Region, name="r2")
+        records = log.since(position)
+        assert [r.obj_id for r in records] == [r2.id]
+
+    def test_for_model_includes_subclasses(self, store, env, pr):
+        log = ChangeLog(store)
+        store.create(Region, name="rx")
+        records = log.for_model(Device)
+        assert {r.model for r in records} == {"PeeringRouter"}
+        assert log.for_model("PeeringRouter")  # by name too
+
+    def test_for_object(self, store, env, pr):
+        log = ChangeLog(store)
+        position = log.position
+        store.update(pr, name="pr1-renamed")
+        store.create(Region, name="rx")
+        records = log.for_object(Device, pr.id, since=position)
+        assert len(records) == 1
+        assert records[0].op is ChangeOp.UPDATE
+
+    def test_models_changed(self, store, env, pr):
+        log = ChangeLog(store)
+        position = log.position
+        store.update(pr, name="pr1-renamed")
+        store.create(Region, name="rx")
+        assert log.models_changed(since=position) == {"PeeringRouter", "Region"}

@@ -115,3 +115,79 @@ class TestDesiredDerivedAudit:
         assert report.by_kind("bgp-not-established") or report.by_kind(
             "bgp-not-observed"
         )
+
+
+@pytest.mark.incremental
+class TestPrioritySweep:
+    """Regeneration-aware sweep ordering (change propagation)."""
+
+    def sweep_order(self, confmon, limit=None):
+        """Run a priority sweep, recording the order devices are checked."""
+        order = []
+        original = confmon.check_device
+        confmon.check_device = lambda name: (order.append(name), original(name))[1]
+        try:
+            confmon.priority_sweep(limit=limit)
+        finally:
+            del confmon.check_device
+        return order
+
+    def test_fresh_devices_checked_first_newest_first(self, pop_network):
+        robotron = pop_network
+        confmon = robotron.confmon
+        clock = robotron.scheduler.clock
+        golden = robotron.generator.golden
+        confmon.note_regenerated([golden["pop01.c01.psw2"]])
+        clock.advance(1.0)
+        confmon.note_regenerated([golden["pop01.c01.tor3"]])
+        order = self.sweep_order(confmon)
+        assert order[:2] == ["pop01.c01.tor3", "pop01.c01.psw2"]
+        assert sorted(order) == sorted(robotron.fleet.devices)
+
+    def test_rest_of_fleet_ordered_least_recently_checked(self, pop_network):
+        robotron = pop_network
+        confmon = robotron.confmon
+        clock = robotron.scheduler.clock
+        for name in sorted(robotron.fleet.devices):
+            confmon.check_device(name)
+            clock.advance(1.0)
+        confmon.check_device("pop01.c01.tor1")  # freshly re-checked: last
+        order = self.sweep_order(confmon)
+        assert order[0] == "pop01.c01.pr1"  # oldest check goes first
+        assert order[-1] == "pop01.c01.tor1"
+
+    def test_limit_budgets_the_sweep(self, pop_network):
+        from repro import obs
+
+        robotron = pop_network
+        confmon = robotron.confmon
+        confmon.note_regenerated(
+            [robotron.generator.golden["pop01.c01.psw1"]]
+        )
+        order = self.sweep_order(confmon, limit=3)
+        assert len(order) == 3
+        assert order[0] == "pop01.c01.psw1"
+        assert obs.counter("confmon.priority_sweep").value == 1
+        assert obs.counter("confmon.priority_sweep.fresh").value == 1
+
+    def test_checking_a_device_clears_its_fresh_flag(self, pop_network):
+        robotron = pop_network
+        confmon = robotron.confmon
+        confmon.note_regenerated(
+            [robotron.generator.golden["pop01.c01.psw1"]]
+        )
+        confmon.check_device("pop01.c01.psw1")
+        order = self.sweep_order(confmon, limit=1)
+        # No longer prioritized: some never-checked device goes first.
+        assert order != ["pop01.c01.psw1"]
+
+    def test_sweep_finds_drift_on_fresh_device(self, pop_network):
+        robotron = pop_network
+        confmon = robotron.confmon
+        device = robotron.fleet.get("pop01.c01.psw1")
+        manual_change(device)
+        before = len(confmon.discrepancies)
+        confmon.note_regenerated([robotron.generator.golden[device.name]])
+        found = confmon.priority_sweep(limit=1)
+        assert [d.device for d in found] == [device.name]
+        assert len(confmon.discrepancies) == before + 1
