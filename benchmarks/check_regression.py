@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compare fresh results against baselines.
+
+CI copies the committed ``benchmarks/results/`` aside, reruns the
+benchmarks, then runs this script to compare the fresh JSON results
+against the baseline copy.  Two kinds of checks:
+
+* **wall-time fields** — a fresh time more than ``TOLERANCE`` slower
+  than baseline fails the gate.  Raw seconds are not comparable across
+  machines (the committed baselines may come from different hardware
+  than a CI runner), so every benchmark JSON records a
+  ``calibration_seconds`` — the wall time of a fixed CPU workload on the
+  machine that produced it — and times are compared as multiples of
+  their own machine's calibration.
+* **floor fields** — speedups that must not sink below a fixed floor
+  (the paper-derived acceptance bars), compared without scaling since a
+  ratio is already machine-neutral.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline /tmp/bench-baseline --current benchmarks/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+#: A fresh wall time may be at most this multiple of the (calibration-
+#: scaled) baseline before the gate fails: >25% slowdown is a regression.
+TOLERANCE = 1.25
+
+#: file stem -> wall-time fields compared calibration-scaled.
+WALL_FIELDS = {
+    # incremental_seconds is deliberately absent: it is a tens-of-ms
+    # measurement whose run-to-run noise exceeds the tolerance; the
+    # speedup floor below already guards the incremental path.
+    "sec54_incremental_configgen": (
+        "initial_full_seconds",
+        "full_regeneration_seconds",
+    ),
+    "sec53_deployment_modes": ("drill_seconds",),
+    "BENCH_parallel": ("serial_seconds", "parallel_seconds"),
+}
+
+#: file stem -> {field: minimum} ratios that must hold absolutely.
+FLOOR_FIELDS = {
+    "sec54_incremental_configgen": {"speedup": 10.0},
+    "BENCH_parallel": {"speedup": 2.0},
+}
+
+
+def calibration_seconds(rounds: int = 3) -> float:
+    """Wall time of a fixed CPU workload (best of ``rounds``).
+
+    Benchmarks store this next to their timings so the regression gate
+    can compare runs from different machines: a timing is judged as a
+    multiple of its own machine's calibration, not in raw seconds.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        digest = b"robotron-calibration"
+        started = perf_counter()
+        for _ in range(200_000):
+            digest = hashlib.sha256(digest).digest()
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def load(directory: Path, stem: str) -> dict | None:
+    path = directory / f"{stem}.json"
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text())
+
+
+def check(baseline_dir: Path, current_dir: Path) -> list[str]:
+    """All gate failures, empty when the run is clean."""
+    failures: list[str] = []
+    for stem in sorted(set(WALL_FIELDS) | set(FLOOR_FIELDS)):
+        current = load(current_dir, stem)
+        if current is None:
+            failures.append(f"{stem}: no fresh result in {current_dir}")
+            continue
+
+        for field, floor in FLOOR_FIELDS.get(stem, {}).items():
+            value = current.get(field)
+            if value is None:
+                failures.append(f"{stem}: fresh result lacks {field!r}")
+            elif value < floor:
+                failures.append(
+                    f"{stem}: {field} {value:.2f} below the {floor:.0f}x floor"
+                )
+            else:
+                print(f"ok   {stem}.{field}: {value:.2f} (floor {floor:.0f})")
+
+        baseline = load(baseline_dir, stem)
+        if baseline is None:
+            # First run of a new benchmark: nothing to regress against.
+            print(f"note {stem}: no baseline JSON; wall-time gate skipped")
+            continue
+        base_cal = baseline.get("calibration_seconds")
+        cur_cal = current.get("calibration_seconds")
+        if not base_cal or not cur_cal:
+            print(f"note {stem}: calibration missing; wall-time gate skipped")
+            continue
+        for field in WALL_FIELDS.get(stem, ()):
+            base = baseline.get(field)
+            cur = current.get(field)
+            if base is None or cur is None:
+                failures.append(f"{stem}: missing wall-time field {field!r}")
+                continue
+            ratio = (cur / cur_cal) / (base / base_cal)
+            status = "ok  " if ratio <= TOLERANCE else "FAIL"
+            print(
+                f"{status} {stem}.{field}: {cur:.3f}s vs {base:.3f}s "
+                f"(scaled ratio {ratio:.2f}, tolerance {TOLERANCE})"
+            )
+            if ratio > TOLERANCE:
+                failures.append(
+                    f"{stem}: {field} regressed {ratio:.2f}x "
+                    f"calibration-scaled (> {TOLERANCE})"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    args = parser.parse_args(argv)
+    failures = check(args.baseline, args.current)
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,8 +12,12 @@ while injecting device faults, and measures what each mode let through:
 * confirm mode reverts everything when verification fails.
 """
 
+import json
+import time
+
 import pytest
-from conftest import publish_report
+from check_regression import calibration_seconds
+from conftest import RESULTS_DIR, publish_report
 
 from repro import Robotron, seed_environment
 from repro.common.util import format_table
@@ -127,7 +131,10 @@ def run_drill():
 
 @pytest.fixture(scope="module")
 def drill():
-    return run_drill()
+    started = time.perf_counter()
+    results = run_drill()
+    results["drill_seconds"] = time.perf_counter() - started
+    return results
 
 
 def test_sec53_deployment_mode_safety(benchmark, drill):
@@ -175,6 +182,19 @@ def test_sec53_deployment_mode_safety(benchmark, drill):
         "guarded rollout restores every touched device to last-known-good.",
     ]
     publish_report("sec53_deployment_modes", "\n".join(report))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "sec53_deployment_modes.json").write_text(
+        json.dumps(
+            {
+                "fleet_size": fleet,
+                "drill_seconds": results["drill_seconds"],
+                "calibration_seconds": calibration_seconds(),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
 
     assert results["dryrun"]["updated"] == 0
     assert results["dryrun"]["diffs"] == fleet

@@ -13,6 +13,7 @@ import json
 import time
 from pathlib import Path
 
+from check_regression import calibration_seconds
 from conftest import RESULTS_DIR, publish_report
 
 from repro import ObjectStore, seed_environment
@@ -116,6 +117,7 @@ def test_sec54_incremental_vs_full(benchmark):
                 "devices_regenerated": sorted(report.regenerated),
                 "records_scanned": report.records_scanned,
                 "speedup": speedup,
+                "calibration_seconds": calibration_seconds(),
             },
             indent=2,
         )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import difflib
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.common.errors import ConfigGenerationError

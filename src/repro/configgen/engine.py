@@ -22,7 +22,7 @@ Rendering never mutates the context.  Parse and render errors raise
 from __future__ import annotations
 
 import re
-from collections.abc import Callable, Iterator, Sequence
+from collections.abc import Callable, Sequence
 from typing import Any
 
 from repro.common.errors import TemplateError

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from functools import cached_property
-from time import perf_counter
+from functools import cached_property, partial
+from time import perf_counter, sleep
 from typing import Any, Callable
 
-from repro import obs
+from repro import faults, obs, parallel
 from repro.common.errors import ConfigGenerationError
 from repro.fbnet.base import Model
 from repro.fbnet.changelog import ReadSet
@@ -101,9 +101,21 @@ class IncrementalGenReport:
 class ConfigGenerator:
     """Generates vendor-specific configs from FBNet Desired state."""
 
-    def __init__(self, store: ObjectStore, configerator: Configerator | None = None):
+    def __init__(
+        self,
+        store: ObjectStore,
+        configerator: Configerator | None = None,
+        *,
+        io_latency: float = 0.0,
+    ):
         self._store = store
         self.configerator = configerator or Configerator()
+        #: Emulated per-device management-plane round trip (wall seconds
+        #: slept inside each render).  At fleet scale the paper's
+        #: generation cost is dominated by per-device I/O; the worker
+        #: pool exists to overlap exactly this, and the parallel
+        #: benchmark sets it to a measured multiple of the render cost.
+        self.io_latency = float(io_latency)
         # Compiled template cache: path -> (version, compiled template).
         # Keyed by path alone so a Configerator version bump *replaces* the
         # superseded entry instead of accumulating one entry per version.
@@ -161,6 +173,23 @@ class ConfigGenerator:
         return config
 
     def _generate(self, device: Model) -> DeviceConfig:
+        config = self._render(device)
+        self.golden[device.name] = config
+        return config
+
+    def _render(self, device: Model) -> DeviceConfig:
+        """Fetch → derive → render one device; pure (no generator state).
+
+        This is the unit of work the pool fans out: it reads the store
+        (thread-local read tracking), renders from the pre-compiled
+        template cache, and returns the config without touching
+        ``self.golden`` — the coordinator registers results in task-key
+        order so the outcome is identical at any worker count.
+        """
+        if faults.should_inject("configgen.render", device=device.name):
+            raise ConfigGenerationError(f"{device.name}: injected render failure")
+        if self.io_latency > 0.0:
+            sleep(self.io_latency)
         started = perf_counter() if obs.enabled() else None
         # Capture the generation position *before* deriving: any record
         # committed mid-derivation must be re-examined by the next
@@ -195,7 +224,6 @@ class ConfigGenerator:
             read_set=read_set,
             template_versions=template_versions,
         )
-        self.golden[device.name] = config
         obs.counter("configgen.render", vendor=vendor).inc()
         if started is not None:
             obs.histogram("configgen.render.latency", vendor=vendor).observe(
@@ -203,20 +231,55 @@ class ConfigGenerator:
             )
         return config
 
+    def _warm_templates(self, devices: list[Model]) -> None:
+        """Pre-compile every template a batch will use, on the coordinator.
+
+        Workers then only *read* the compiled-template cache, so the
+        ``configgen.template_cache`` hit/miss counters (and the cache
+        itself) don't depend on which worker renders first.
+        """
+        for vendor in sorted({device.vendor().value for device in devices}):
+            for section in SECTIONS:
+                self._template(vendor, section)
+
+    def _generate_batch(self, devices: list[Model]) -> dict[str, DeviceConfig]:
+        """Render a device batch across the worker pool, deterministically.
+
+        The renders fan out (they are pure); everything order-sensitive
+        stays on the coordinator: template warm-up, golden registration
+        in task-key order, and the first-keyed error raise.  A failed
+        batch registers nothing — all-or-nothing, unlike the serial
+        per-device path, so partial state can't differ by worker count.
+        """
+        if not devices:
+            return {}
+        self._warm_templates(devices)
+        results = parallel.run_tasks(
+            [(device.name, partial(self._render, device)) for device in devices],
+            section="configgen.render",
+            cancel_on_error=True,
+        )
+        parallel.raise_first_error(results)
+        configs: dict[str, DeviceConfig] = {}
+        for result in results:
+            config = result.value
+            configs[config.device_name] = config
+            self.golden[config.device_name] = config
+        return configs
+
     def generate_location(self, location: Model) -> dict[str, DeviceConfig]:
         """Generate configs for every device at a location (Figure 10)."""
         with obs.span("configgen.generate", location=location.name):
-            configs = {
-                device.name: self._generate(device)
-                for device in fetch_location_devices(self._store, location)
-            }
+            configs = self._generate_batch(
+                fetch_location_devices(self._store, location)
+            )
         self._announce(list(configs.values()))
         return configs
 
     def generate_devices(self, devices: list[Model]) -> dict[str, DeviceConfig]:
         """Generate configs for an explicit device list."""
         with obs.span("configgen.generate", devices=len(devices)):
-            configs = {device.name: self._generate(device) for device in devices}
+            configs = self._generate_batch(list(devices))
         self._announce(list(configs.values()))
         return configs
 
@@ -259,9 +322,12 @@ class ConfigGenerator:
                     report.dirty[device.name] = reason
                     dirty_devices.append((device, reason))
                     obs.counter("configgen.dirty").inc()
-            for device, _reason in dirty_devices:
-                report.regenerated[device.name] = self._generate(device)
-                obs.counter("configgen.regenerated").inc()
+            regenerated = self._generate_batch(
+                [device for device, _reason in dirty_devices]
+            )
+            if regenerated:
+                report.regenerated.update(regenerated)
+                obs.counter("configgen.regenerated").inc(len(regenerated))
             if retire_missing:
                 present = {device.name for device in devices}
                 for name in sorted(set(self.golden) - present):

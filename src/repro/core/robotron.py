@@ -22,7 +22,7 @@ from repro.configgen.generator import (
     DeviceConfig,
     IncrementalGenReport,
 )
-from repro.deploy.deployer import DeployReport, Deployer
+from repro.deploy.deployer import DeployReport, Deployer, cluster_domain
 from repro.deploy.guard import DeploymentGuard, HealthGate, RolloutResult
 from repro.deploy.phases import PhaseSpec
 from repro.design.backbone import BackboneDesignTool
@@ -166,6 +166,9 @@ class Robotron:
                 self.fleet,
                 notifier=self.notifications.append,
                 retry_policy=self.retry_policy,
+                # Phased pushes may run concurrently across clusters but
+                # never two at once within one (blast-radius cap).
+                domain_of=cluster_domain,
             )
             self.guard = DeploymentGuard(
                 self.deployer,

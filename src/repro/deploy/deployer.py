@@ -11,18 +11,28 @@ from __future__ import annotations
 import hashlib
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
-from typing import Any
+from functools import partial
 
-from repro import faults, obs
+from repro import faults, obs, parallel
 from repro.common.errors import DeploymentError
 from repro.configgen.generator import DeviceConfig
 from repro.faults.retry import CircuitBreaker, GiveUp, RetryPolicy
 from repro.deploy.diff import count_changed_lines, unified_diff
 from repro.deploy.phases import PhaseSpec
-from repro.devices.emulator import CommitError, DeviceDownError, EmulatedDevice
+from repro.devices.emulator import CommitError, EmulatedDevice
 from repro.devices.fleet import DeviceFleet
 
-__all__ = ["DeployReport", "Deployer", "PhaseOutcome"]
+__all__ = ["DeployReport", "Deployer", "PhaseOutcome", "cluster_domain"]
+
+
+def cluster_domain(device: EmulatedDevice) -> str:
+    """The default failure domain: the device's cluster-name prefix.
+
+    ``pop01.c01.tor1`` → ``pop01.c01`` — phased pushes may run
+    concurrently across clusters but never two at once within one.
+    """
+    name = device.name
+    return name.rsplit(".", 1)[0] if "." in name else name
 
 
 def _config_text(config: DeviceConfig | str) -> str:
@@ -80,12 +90,46 @@ class Deployer:
         *,
         notifier: Callable[[str], None] | None = None,
         retry_policy: RetryPolicy | None = None,
+        domain_of: Callable[[EmulatedDevice], str] | None = None,
     ):
         self._fleet = fleet
         self._notify = notifier or (lambda _msg: None)
         #: When set, transient per-device commit failures are retried with
         #: backoff on the simulated clock before counting as failures.
         self._retry_policy = retry_policy
+        #: Maps a device to its failure domain for phased pushes.  With
+        #: ``None`` (the default) every device shares one domain, so
+        #: phases push strictly one device at a time — the conservative
+        #: serial behavior.  The :class:`~repro.core.robotron.Robotron`
+        #: facade wires :func:`cluster_domain` so pushes parallelize
+        #: across clusters while never running two at once inside one.
+        self._domain_of = domain_of
+
+    def failure_domain(self, device: EmulatedDevice) -> str:
+        return "" if self._domain_of is None else str(self._domain_of(device))
+
+    def _plan_waves(self, batch: list[str]) -> list[list[str]]:
+        """Split a phase batch into waves of domain-distinct devices.
+
+        Greedy in batch order: each device joins the earliest wave not
+        already holding its failure domain.  Wave composition depends
+        only on the batch and the domain map — never on the worker count
+        — and a wave's members may push concurrently because no two
+        share a domain.
+        """
+        waves: list[list[str]] = []
+        domains: list[set[str]] = []
+        for name in batch:
+            domain = self.failure_domain(self._fleet.get(name))
+            for wave, used in zip(waves, domains):
+                if domain not in used:
+                    wave.append(name)
+                    used.add(domain)
+                    break
+            else:
+                waves.append([name])
+                domains.append({domain})
+        return waves
 
     def _push(self, device: EmulatedDevice, text: str) -> float:
         """Commit ``text`` on ``device``, retrying transient failures.
@@ -93,8 +137,11 @@ class Deployer:
         The ``deploy.push`` fault-injection point fires here; with a
         retry policy configured, injected (and other transient) commit
         errors are retried up to the policy's budget, bumping the
-        ``deploy.retry`` counter, before the failure is surfaced.
+        ``deploy.retry`` counter, before the failure is surfaced.  Inside
+        a pool task, retry backoff sleeps on the task-local clock (the
+        coordinator folds the batch maximum into the shared clock).
         """
+        clock = parallel.task_clock(self._fleet.scheduler.clock)
 
         def once() -> float:
             if faults.should_inject(
@@ -109,8 +156,8 @@ class Deployer:
             return self._retry_policy.execute(
                 once,
                 retryable=(CommitError,),
-                sleep=self._fleet.scheduler.clock.advance,
-                clock=self._fleet.scheduler.clock,
+                sleep=clock.advance,
+                clock=clock,
                 on_retry=lambda _i, _exc: obs.counter(
                     "deploy.retry", device=device.name
                 ).inc(),
@@ -329,38 +376,60 @@ class Deployer:
     ) -> PhaseOutcome:
         """Push one phase's batch, recording outcomes into ``report``.
 
-        With a ``breaker``, failures are tolerated until it opens; with
-        ``halt_on_failure``, the first failure stops the batch.  Either
-        way the devices never attempted land in ``not_attempted`` so the
-        caller can account for (or roll back around) them.
+        The batch is split into failure-domain waves (:meth:`_plan_waves`);
+        a wave's devices — all in distinct domains — push concurrently
+        across the worker pool, and every wave member always runs, so
+        final device states are identical at any worker count.  Outcomes
+        merge on the coordinator in wave order: with a ``breaker``,
+        failures are tolerated until it opens; with ``halt_on_failure``,
+        any failure stops after the current wave.  Either way the wave
+        boundary is the halt boundary, and the devices never attempted
+        land in ``not_attempted`` so the caller can account for (or roll
+        back around) them.
         """
         outcome = PhaseOutcome()
-        for position, name in enumerate(batch):
-            device = self._fleet.get(name)
-            text = _config_text(configs[name])
-            before = device.running_config
-            try:
-                self._push(device, text)
-            except DeploymentError as exc:
-                report.failed[name] = str(exc)
-                outcome.failed[name] = str(exc)
+        waves = self._plan_waves(list(batch))
+        for index, wave in enumerate(waves):
+            results = parallel.run_tasks(
+                [(name, partial(self._push_one, name, configs[name])) for name in wave],
+                section="deploy.push",
+                clock=self._fleet.scheduler.clock,
+            )
+            for result in results:
+                name = result.key
+                if result.error is not None:
+                    if not isinstance(result.error, DeploymentError):
+                        raise result.error
+                    message = str(result.error)
+                    report.failed[name] = message
+                    outcome.failed[name] = message
+                    if breaker is not None:
+                        breaker.record_failure()
+                        if breaker.open:
+                            outcome.circuit_open = True
+                    elif halt_on_failure:
+                        outcome.halted = True
+                    continue
+                before = result.value
+                report.succeeded.append(name)
+                outcome.succeeded.append(name)
+                report.changed_lines[name] = count_changed_lines(
+                    before, _config_text(configs[name])
+                )
                 if breaker is not None:
-                    breaker.record_failure()
-                    if breaker.open:
-                        outcome.circuit_open = True
-                        outcome.not_attempted.extend(batch[position + 1 :])
-                        return outcome
-                elif halt_on_failure:
-                    outcome.halted = True
-                    outcome.not_attempted.extend(batch[position + 1 :])
-                    return outcome
-                continue
-            report.succeeded.append(name)
-            outcome.succeeded.append(name)
-            report.changed_lines[name] = count_changed_lines(before, text)
-            if breaker is not None:
-                breaker.record_success()
+                    breaker.record_success()
+            if outcome.circuit_open or outcome.halted:
+                for later in waves[index + 1 :]:
+                    outcome.not_attempted.extend(later)
+                return outcome
         return outcome
+
+    def _push_one(self, name: str, config: DeviceConfig | str) -> str:
+        """One phase push task: returns the pre-push running config."""
+        device = self._fleet.get(name)
+        before = device.running_config
+        self._push(device, _config_text(config))
+        return before
 
     def phased_deploy(
         self,

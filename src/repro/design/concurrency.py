@@ -19,7 +19,7 @@ becomes structurally impossible at the design layer.
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import DesignValidationError, RobotronError
 from repro.design.changes import ChangeSummary, summarize_journal

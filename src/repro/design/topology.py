@@ -18,7 +18,7 @@ FBNet objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import DesignValidationError
 from repro.fbnet.models import BgpSessionType

@@ -24,7 +24,9 @@ with its point, so telemetry shows exactly where chaos landed.
 
 from __future__ import annotations
 
+import hashlib
 import random
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -41,6 +43,36 @@ __all__ = [
     "should_inject",
     "uninstall",
 ]
+
+
+def _scope_seed(seed: int, key: str) -> int:
+    """A sub-seed derived from (plan seed, task key) — stable across runs
+    and interpreter invocations (unlike ``hash()``, which is salted)."""
+    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class _TaskScope:
+    """A per-task partition of a plan's mutable injection state.
+
+    While a scope is active on a thread, ``should_inject`` draws from the
+    scope's derived RNG and tracks ``seen``/``injected`` per spec locally
+    (keyed by spec index), recording injections into the scope's buffer.
+    The pool coordinator merges scopes back in task-key order, so the
+    plan's record is identical at any worker count.  Count-based spec
+    semantics (``after``/``times``) apply *per task* inside pooled
+    sections — the only reading that is order-independent.
+    """
+
+    __slots__ = ("key", "rng", "clock", "seen", "injected", "injections")
+
+    def __init__(self, plan: FaultPlan, key: str, clock: Any | None = None):
+        self.key = str(key)
+        self.rng = random.Random(_scope_seed(plan.seed, self.key))
+        self.clock = clock
+        self.seen: dict[int, int] = {}
+        self.injected: dict[int, int] = {}
+        self.injections: list[tuple[float | None, str, dict[str, str]]] = []
 
 
 @dataclass
@@ -104,6 +136,7 @@ class FaultPlan:
         self._rng = random.Random(seed)
         self._specs: list[FaultSpec] = []
         self._clock = clock
+        self._scopes = threading.local()
         #: Every injection, in order: (sim time or None, point, labels).
         self.injections: list[tuple[float | None, str, dict[str, str]]] = []
 
@@ -140,28 +173,78 @@ class FaultPlan:
     def _now(self) -> float | None:
         return self._clock.now if self._clock is not None else None
 
+    # -- task-scoped state (deterministic parallel execution) ----------------
+
+    @contextmanager
+    def task_scope(self, key: str, *, clock: Any | None = None) -> Iterator[Any]:
+        """Partition this plan's state for one pool task on this thread.
+
+        Inside the block, decisions draw from an RNG derived from the
+        plan seed and ``key`` and count against scope-local spec state;
+        the caller (the pool coordinator) merges the scope back with
+        :meth:`merge_scope` in task-key order.  ``clock`` (a task-local
+        clock) overrides the plan's bound clock for window checks and
+        injection timestamps.
+        """
+        scope = _TaskScope(self, key, clock)
+        previous = getattr(self._scopes, "current", None)
+        self._scopes.current = scope
+        try:
+            yield scope
+        finally:
+            self._scopes.current = previous
+
+    def merge_scope(self, scope: Any) -> None:
+        """Fold one task scope's record back into the plan."""
+        for index, count in scope.seen.items():
+            self._specs[index].seen += count
+        for index, count in scope.injected.items():
+            self._specs[index].injected += count
+        self.injections.extend(scope.injections)
+
     # -- the decision --------------------------------------------------------
 
     def should_inject(self, point: str, **labels: Any) -> bool:
         """Decide (deterministically) whether this call fails.
 
         Probability draws consume the plan's seeded RNG in call order, so
-        two runs issuing the same calls make the same decisions.
+        two runs issuing the same calls make the same decisions.  Inside
+        a :meth:`task_scope`, draws and counters are scope-local instead
+        (derived RNG, per-task ``after``/``times``), so the decision for
+        a given call depends only on the task key — not on how pool tasks
+        interleave.
         """
-        now = self._now()
-        for spec in self._specs:
-            if spec.point != point or spec.exhausted():
+        scope = getattr(self._scopes, "current", None)
+        if scope is not None and scope.clock is not None:
+            now = scope.clock.now
+        else:
+            now = self._now()
+        for index, spec in enumerate(self._specs):
+            if spec.point != point:
+                continue
+            injected = spec.injected if scope is None else scope.injected.get(index, 0)
+            if spec.times is not None and injected >= spec.times:
                 continue
             if not spec.matches_labels(labels) or not spec.in_window(now):
                 continue
-            spec.seen += 1
-            if spec.seen <= spec.after:
+            if scope is None:
+                spec.seen += 1
+                seen = spec.seen
+            else:
+                seen = scope.seen.get(index, 0) + 1
+                scope.seen[index] = seen
+            if seen <= spec.after:
                 continue
-            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+            rng = self._rng if scope is None else scope.rng
+            if spec.probability < 1.0 and rng.random() >= spec.probability:
                 continue
-            spec.injected += 1
             label_strs = {k: str(v) for k, v in labels.items()}
-            self.injections.append((now, point, label_strs))
+            if scope is None:
+                spec.injected += 1
+                self.injections.append((now, point, label_strs))
+            else:
+                scope.injected[index] = injected + 1
+                scope.injections.append((now, point, label_strs))
             obs.counter("faults.injected", point=point).inc()
             return True
         return False

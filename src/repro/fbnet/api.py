@@ -15,7 +15,6 @@ in a single transaction so no partial state is ever visible (section
 from __future__ import annotations
 
 from collections.abc import Sequence
-from enum import Enum
 from typing import Any
 
 from repro.common.errors import QueryError

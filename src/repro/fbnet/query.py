@@ -15,7 +15,6 @@ which case an expression matches if *any* leaf value matches.
 from __future__ import annotations
 
 import re
-from collections.abc import Iterable, Sequence
 from enum import Enum
 from typing import TYPE_CHECKING, Any
 

@@ -15,6 +15,7 @@ provides an in-process relational store with the same observable semantics:
 from __future__ import annotations
 
 import itertools
+import threading
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -31,7 +32,7 @@ from repro.common.errors import (
 )
 from repro.fbnet.base import Model, model_registry
 from repro.fbnet.changelog import ReadSet, equality_dependencies, query_models
-from repro.fbnet.fields import ForeignKey, OnDelete
+from repro.fbnet.fields import OnDelete
 from repro.fbnet.query import Query, ensure_query
 
 __all__ = ["ChangeOp", "ChangeRecord", "ObjectStore"]
@@ -111,11 +112,21 @@ class ObjectStore:
 
         # Active read trackers (see track_reads); reads are recorded into
         # every tracker on the stack, so nested computations compose.
-        self._read_trackers: list[ReadSet] = []
+        # The stack is thread-local: parallel config renders each track
+        # their own reads without seeing (or corrupting) each other's.
+        self._tracking = threading.local()
 
     # ------------------------------------------------------------------
     # Read tracking (change propagation, see repro.fbnet.changelog)
     # ------------------------------------------------------------------
+
+    @property
+    def _read_trackers(self) -> list[ReadSet]:
+        stack = getattr(self._tracking, "stack", None)
+        if stack is None:
+            stack = []
+            self._tracking.stack = stack
+        return stack
 
     @contextmanager
     def track_reads(self, read_set: ReadSet | None = None) -> Iterator[ReadSet]:
@@ -169,11 +180,12 @@ class ObjectStore:
 
     @contextmanager
     def _suspend_tracking(self) -> Iterator[None]:
-        trackers, self._read_trackers = self._read_trackers, []
+        previous = self._read_trackers
+        self._tracking.stack = []
         try:
             yield
         finally:
-            self._read_trackers = trackers
+            self._tracking.stack = previous
 
     # ------------------------------------------------------------------
     # Transactions

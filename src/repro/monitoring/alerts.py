@@ -11,7 +11,7 @@ health-check factory the deployer's phased mode plugs into directly.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.monitoring.backends import TimeSeriesBackend
 

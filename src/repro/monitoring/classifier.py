@@ -12,8 +12,7 @@ from __future__ import annotations
 import re
 from collections import Counter
 from collections.abc import Callable
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
 from repro.fbnet.models import EventSeverity
 from repro.monitoring.syslog import SyslogMessage

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from functools import partial
 
-from repro import obs
+from repro import obs, parallel
 from repro.configgen.generator import ConfigGenerator, DeviceConfig
 from repro.deploy.diff import unified_diff
 from repro.devices.fleet import DeviceFleet
@@ -82,8 +83,23 @@ class ConfigMonitor:
         revision, and raises a discrepancy alert if the config deviates
         from the Robotron-generated one.
         """
-        self._last_checked[device_name] = self._jobs.scheduler.clock.now
+        clock = parallel.task_clock(self._jobs.scheduler.clock)
+        self._last_checked[device_name] = clock.now
         self._recent.pop(device_name, None)
+        discrepancy = self._collect_and_compare(device_name)
+        if discrepancy is None:
+            return None
+        self.discrepancies.append(discrepancy)
+        self._notify(discrepancy)
+        return discrepancy
+
+    def _collect_and_compare(self, device_name: str) -> ConfigDiscrepancy | None:
+        """The collection half of a check — safe to run in a pool task.
+
+        Collects the running config (recording a backup revision) and
+        diffs it against golden; does *not* touch the shared discrepancy
+        log, which the sweep coordinator appends to in queue order.
+        """
         record = self._jobs.run_adhoc(
             "cli", "running-config", device_name, backends=(self.backup.name,)
         )
@@ -95,14 +111,11 @@ class ConfigMonitor:
             return None  # device not yet under management
         if running == golden.text:
             return None
-        discrepancy = ConfigDiscrepancy(
+        return ConfigDiscrepancy(
             device=device_name,
             diff=unified_diff(golden.text, running, device_name),
-            detected_at=self._jobs.scheduler.clock.now,
+            detected_at=parallel.task_clock(self._jobs.scheduler.clock).now,
         )
-        self.discrepancies.append(discrepancy)
-        self._notify(discrepancy)
-        return discrepancy
 
     def check_devices(self, names: list[str]) -> list[ConfigDiscrepancy]:
         """Sweep a set of devices (e.g. a rollout phase's health gate)."""
@@ -158,11 +171,26 @@ class ConfigMonitor:
             obs.counter("confmon.priority_sweep.fresh").inc(
                 len([name for name in queue if name in self._recent])
             )
-        found = []
+        # The queue is built (and bookkeeping updated) serially; the
+        # collections fan out across the pool; discrepancies are recorded
+        # on the coordinator in queue order, so the sweep's outcome is
+        # identical at any worker count.
+        now = self._jobs.scheduler.clock.now
         for name in queue:
-            discrepancy = self.check_device(name)
-            if discrepancy is not None:
-                found.append(discrepancy)
+            self._last_checked[name] = now
+            self._recent.pop(name, None)
+        results = parallel.run_tasks(
+            [(name, partial(self._collect_and_compare, name)) for name in queue],
+            section="confmon.sweep",
+            clock=self._jobs.scheduler.clock,
+        )
+        parallel.raise_first_error(results)
+        found = []
+        for result in results:
+            if result.value is not None:
+                self.discrepancies.append(result.value)
+                self._notify(result.value)
+                found.append(result.value)
         return found
 
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ counts as one monitoring event (Table 2's unit).
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 from repro.common.errors import DeploymentError, MonitoringError
@@ -38,6 +39,9 @@ class Engine:
         self.events = 0
         #: Failed polls (unreachable device, unsupported capability).
         self.errors = 0
+        # Parallel sweeps poll one shared engine instance from several
+        # worker threads; the counters are read-modify-write.
+        self._counter_lock = threading.Lock()
 
     def poll(self, device: EmulatedDevice, data_type: str) -> dict[str, Any]:
         if data_type not in self.data_types:
@@ -47,14 +51,17 @@ class Engine:
         try:
             payload = self._collect(device, data_type)
         except MonitoringError:
-            self.errors += 1
+            with self._counter_lock:
+                self.errors += 1
             raise
         except DeploymentError as exc:
             # An unreachable device is a failed poll, not a crash of the
             # monitoring tier.
-            self.errors += 1
+            with self._counter_lock:
+                self.errors += 1
             raise MonitoringError(str(exc)) from None
-        self.events += 1
+        with self._counter_lock:
+            self.events += 1
         return {
             "engine": self.name,
             "device": device.name,

@@ -9,10 +9,11 @@ Engines pull the work; backends receive the results.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro import faults, obs
+from repro import faults, obs, parallel
 from repro.common.errors import MonitoringError
 from repro.devices.emulator import EmulatedDevice
 from repro.faults.retry import GiveUp, RetryPolicy
@@ -60,6 +61,7 @@ class JobManager:
         self.scheduler = scheduler or fleet.scheduler
         #: When set, transient poll failures retry with simulated backoff.
         self._retry_policy = retry_policy
+        self._engine_lock = threading.Lock()
         self._engines: dict[str, Engine] = {}
         self._backends: dict[str, Backend] = {}
         self._cancels: dict[str, Callable[[], None]] = {}
@@ -75,10 +77,15 @@ class JobManager:
         self._backends[backend.name] = backend
 
     def engine(self, name: str) -> Engine:
-        """The shared engine instance for ``name`` (counters accumulate)."""
-        if name not in self._engines:
-            self._engines[name] = engine_for(name)
-        return self._engines[name]
+        """The shared engine instance for ``name`` (counters accumulate).
+
+        Locked: parallel sweep tasks must share one instance, never race
+        a duplicate into existence (its event counts would be lost).
+        """
+        with self._engine_lock:
+            if name not in self._engines:
+                self._engines[name] = engine_for(name)
+            return self._engines[name]
 
     @property
     def engines(self) -> dict[str, Engine]:
@@ -117,7 +124,9 @@ class JobManager:
         With a retry policy configured, transient poll failures (injected
         or otherwise) back off on the simulated clock and retry, bumping
         ``monitoring.retry``, before the error reaches the failure log.
+        Inside a pool task the backoff sleeps on the task-local clock.
         """
+        clock = parallel.task_clock(self.scheduler.clock)
 
         def once() -> dict:
             if faults.should_inject(
@@ -134,8 +143,8 @@ class JobManager:
             return self._retry_policy.execute(
                 once,
                 retryable=(MonitoringError,),
-                sleep=self.scheduler.clock.advance,
-                clock=self.scheduler.clock,
+                sleep=clock.advance,
+                clock=clock,
                 on_retry=lambda _i, _exc: obs.counter(
                     "monitoring.retry", job=job_name
                 ).inc(),
@@ -189,7 +198,7 @@ class JobManager:
         return record
 
     def _dispatch(self, record: dict, backend_names: tuple[str, ...]) -> None:
-        timestamp = self.scheduler.clock.now
+        timestamp = parallel.task_clock(self.scheduler.clock).now
         for name in backend_names:
             backend = self._backends.get(name)
             if backend is None:

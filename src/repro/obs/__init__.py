@@ -52,6 +52,7 @@ __all__ = [
     "TraceSink",
     "Tracer",
     "counter",
+    "deterministic_dump",
     "disable",
     "dump_json",
     "enable",
@@ -164,3 +165,13 @@ def dump_json(path: str | None = None, *, indent: int | None = 2) -> str:
 
         Path(path).write_text(text + "\n")
     return text
+
+
+def deterministic_dump() -> dict[str, Any]:
+    """Counters + histogram counts only — identical at any worker count.
+
+    The chaos CI matrix compares this (serialized) dump bit-for-bit
+    between ``ROBOTRON_WORKERS=1`` and ``=4`` runs; see
+    :func:`repro.obs.export.deterministic_dump` for what is excluded.
+    """
+    return _export.deterministic_dump(_registry)

@@ -15,7 +15,22 @@ from repro.common.util import format_table
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import TraceSink
 
-__all__ = ["render_json", "render_report", "snapshot"]
+__all__ = [
+    "NONDETERMINISTIC_SERIES",
+    "deterministic_dump",
+    "render_json",
+    "render_report",
+    "snapshot",
+]
+
+#: Metric series whose values depend on wall-clock timing or thread
+#: scheduling rather than on the simulated workload.  Excluded from
+#: :func:`deterministic_dump` — everything else must be bit-identical
+#: across runs and across worker counts.
+NONDETERMINISTIC_SERIES = frozenset({
+    "parallel.queue_depth",
+    "parallel.stragglers",
+})
 
 
 def render_report(
@@ -63,6 +78,32 @@ def render_report(
 
 def _fmt(value: float) -> str:
     return f"{value:.6g}"
+
+
+def deterministic_dump(registry: MetricsRegistry) -> dict[str, Any]:
+    """The subset of the registry that must not vary with the worker count.
+
+    Counter values and histogram observation *counts* are products of the
+    (seeded, simulated) workload, so chaos runs compare them bit-for-bit
+    across ``ROBOTRON_WORKERS`` settings.  Gauges (worker utilization),
+    wall-time histogram statistics (sums, percentiles), and the series in
+    :data:`NONDETERMINISTIC_SERIES` are excluded — they measure the
+    machine, not the workload.
+    """
+    counters: list[dict[str, Any]] = []
+    histograms: list[dict[str, Any]] = []
+    for series in registry.series():
+        if series.name in NONDETERMINISTIC_SERIES:
+            continue
+        if isinstance(series, Counter):
+            counters.append(
+                {"name": series.name, "labels": series.labels, "value": series.value}
+            )
+        elif isinstance(series, Histogram):
+            histograms.append(
+                {"name": series.name, "labels": series.labels, "count": series.count}
+            )
+    return {"counters": counters, "histograms": histograms}
 
 
 def snapshot(

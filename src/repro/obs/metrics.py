@@ -15,6 +15,7 @@ paying for instrumentation that nobody is reading.
 from __future__ import annotations
 
 import re
+import threading
 from bisect import bisect_left
 from collections import deque
 from typing import Any
@@ -41,6 +42,12 @@ COUNT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000)
 
 #: Metric names follow ``<subsystem>.<event>``: lowercase dotted segments.
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_-]+)+$")
+
+#: One process-wide lock covers series creation and every read-modify-
+#: write update.  Worker-pool tasks record metrics concurrently; without
+#: the lock, ``value += amount`` and bucket increments lose updates (and
+#: the deterministic chaos dumps would disagree across worker counts).
+_series_lock = threading.Lock()
 
 
 def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
@@ -79,7 +86,8 @@ class Counter(_SeriesBase):
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge")
-        self.value += amount
+        with _series_lock:
+            self.value += amount
 
 
 class Gauge(_SeriesBase):
@@ -94,14 +102,17 @@ class Gauge(_SeriesBase):
         self.updated_at: float | None = None
 
     def set(self, value: float, *, at: float | None = None) -> None:
-        self.value = float(value)
-        self.updated_at = at
+        with _series_lock:
+            self.value = float(value)
+            self.updated_at = at
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with _series_lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with _series_lock:
+            self.value -= amount
 
 
 class Histogram(_SeriesBase):
@@ -137,14 +148,15 @@ class Histogram(_SeriesBase):
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        self._samples.append(value)
+        with _series_lock:
+            self.bucket_counts[bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self._samples.append(value)
 
     def percentile(self, pct: float) -> float:
         """Percentile over the recent-sample reservoir (nearest rank)."""
@@ -272,12 +284,17 @@ class MetricsRegistry:
                     "(lowercase dotted segments)"
                 )
             label_strs = {k: str(v) for k, v in labels.items()}
-            if kind is Histogram:
-                series = Histogram(name, label_strs, buckets or DEFAULT_BUCKETS)
-            else:
-                series = kind(name, label_strs)
-            self._series[key] = series
-        elif not isinstance(series, kind):
+            with _series_lock:
+                series = self._series.get(key)
+                if series is None:
+                    if kind is Histogram:
+                        series = Histogram(
+                            name, label_strs, buckets or DEFAULT_BUCKETS
+                        )
+                    else:
+                        series = kind(name, label_strs)
+                    self._series[key] = series
+        if not isinstance(series, kind):
             raise ValueError(
                 f"metric {name!r} is a {series.kind}, not a {kind.__name__.lower()}"
             )

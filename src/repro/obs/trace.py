@@ -15,6 +15,7 @@ spans evicted) which can render the whole run as a text flame tree.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
@@ -195,7 +196,17 @@ class Tracer:
         self.sink = sink or TraceSink()
         self.sim_clock: Any | None = None
         self._ids = itertools.count(1)
-        self._stack: list[Span] = []
+        # Span nesting is per-thread: a pool worker's spans must not nest
+        # under (or pop) the coordinator's open spans.
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     def set_sim_clock(self, clock: Any | None) -> None:
         """Attach a simulated clock (anything with a float ``.now``)."""
@@ -222,5 +233,5 @@ class Tracer:
 
     def reset(self) -> None:
         self.sink.clear()
-        self._stack.clear()
+        self._local = threading.local()
         self._ids = itertools.count(1)

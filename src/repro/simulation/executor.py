@@ -11,7 +11,7 @@ accounting of the paper's Figure 15 falls out of the audit log.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import DesignValidationError, RobotronError
 from repro.design.backbone import BackboneDesignTool

@@ -1,0 +1,45 @@
+"""Chaos runs are bit-for-bit identical at any pool size (tentpole gate).
+
+The acceptance bar for deterministic parallelism: the full chaos life
+cycle — the same scenario ``test_chaos_cycle`` runs — must produce the
+identical fault record, fingerprint, and deterministic metric dump
+whether the management plane runs serial or on a pool of four.  CI runs
+this file inside the chaos matrix, once per seed per worker count.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs, parallel
+
+from tests.faults.test_chaos_cycle import run_cycle
+
+pytestmark = [pytest.mark.faults, pytest.mark.parallel]
+
+
+def cycle_at(worker_count: int, seed: int) -> tuple[dict, str]:
+    """One chaos cycle at a fixed pool size, plus its metric dump."""
+    with parallel.workers(worker_count):
+        fingerprint = run_cycle(seed)
+    dump = json.dumps(obs.deterministic_dump(), sort_keys=True)
+    return fingerprint, dump
+
+
+class TestWorkerCountDeterminism:
+    def test_serial_and_pool_of_four_identical(self, chaos_seed):
+        serial_fp, serial_dump = cycle_at(1, chaos_seed)
+        pooled_fp, pooled_dump = cycle_at(4, chaos_seed)
+        assert pooled_fp == serial_fp
+        assert pooled_dump == serial_dump
+
+    def test_pool_size_sweep_converges_on_one_dump(self, chaos_seed):
+        dumps = {cycle_at(count, chaos_seed)[1] for count in (1, 2, 8)}
+        assert len(dumps) == 1
+
+    def test_configured_pool_size_reproduces_itself(self, chaos_seed):
+        # Whatever ROBOTRON_WORKERS the environment picked (the CI chaos
+        # matrix sets 1 and 4), the run reproduces bit-for-bit.
+        assert run_cycle(chaos_seed) == run_cycle(chaos_seed)

@@ -122,14 +122,21 @@ class TestPrioritySweep:
     """Regeneration-aware sweep ordering (change propagation)."""
 
     def sweep_order(self, confmon, limit=None):
-        """Run a priority sweep, recording the order devices are checked."""
+        """Run a priority sweep, recording the order devices are checked.
+
+        Hooks the sweep's per-device collection seam; at the default
+        worker count (1) tasks run inline in queue order, so the recorded
+        order is the sweep queue.
+        """
         order = []
-        original = confmon.check_device
-        confmon.check_device = lambda name: (order.append(name), original(name))[1]
+        original = confmon._collect_and_compare
+        confmon._collect_and_compare = (
+            lambda name: (order.append(name), original(name))[1]
+        )
         try:
             confmon.priority_sweep(limit=limit)
         finally:
-            del confmon.check_device
+            del confmon._collect_and_compare
         return order
 
     def test_fresh_devices_checked_first_newest_first(self, pop_network):

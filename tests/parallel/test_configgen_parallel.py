@@ -1,0 +1,100 @@
+"""Parallel config generation must be byte-identical to serial (tentpole)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import parallel, seed_environment
+from repro.common.errors import ConfigGenerationError
+from repro.configgen.generator import ConfigGenerator
+from repro.design.cluster import build_cluster
+from repro.faults import FaultPlan
+from repro.fbnet.models import ClusterGeneration, Device
+from repro.fbnet.store import ObjectStore
+
+pytestmark = pytest.mark.parallel
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def design():
+    """One POP cluster design, shared read-only across this module."""
+    store = ObjectStore()
+    env = seed_environment(store)
+    build_cluster(store, "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2)
+    devices = sorted(store.all(Device), key=lambda d: d.name)
+    return store, devices
+
+
+def generate_texts(store, devices, worker_count, configerator=None):
+    """A fresh generator's output, keyed by device, at one pool size."""
+    generator = ConfigGenerator(store, configerator)
+    with parallel.workers(worker_count):
+        configs = generator.generate_devices(devices)
+    return generator, {name: config.text for name, config in configs.items()}
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("count", WORKER_COUNTS)
+    def test_full_generation_identical_to_serial(self, design, count):
+        store, devices = design
+        serial_gen, serial = generate_texts(store, devices, 1)
+        parallel_gen, pooled = generate_texts(
+            store, devices, count, serial_gen.configerator
+        )
+        assert pooled == serial
+        assert {n: c.sha for n, c in parallel_gen.golden.items()} == {
+            n: c.sha for n, c in serial_gen.golden.items()
+        }
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data=st.data())
+    def test_any_subset_at_any_pool_size_matches_serial(self, design, data):
+        store, devices = design
+        subset = data.draw(
+            st.lists(st.sampled_from(devices), unique_by=lambda d: d.name)
+        )
+        count = data.draw(st.sampled_from(WORKER_COUNTS))
+        _, serial = generate_texts(store, subset, 1)
+        _, pooled = generate_texts(store, subset, count)
+        assert pooled == serial
+
+    def test_golden_registration_order_is_task_order(self, design):
+        store, devices = design
+        generator = ConfigGenerator(store)
+        with parallel.workers(4):
+            generator.generate_devices(devices)
+        assert list(generator.golden) == [d.name for d in devices]
+
+
+class TestErrorPathDeterminism:
+    def failing_generation(self, design, worker_count):
+        store, devices = design
+        victim = devices[len(devices) // 2].name
+        plan = FaultPlan(seed=7)
+        plan.inject("configgen.render", device=victim)
+        generator = ConfigGenerator(store)
+        with plan.installed(), parallel.workers(worker_count):
+            with pytest.raises(ConfigGenerationError) as excinfo:
+                generator.generate_devices(devices)
+        return generator, victim, str(excinfo.value)
+
+    @pytest.mark.parametrize("count", WORKER_COUNTS)
+    def test_same_error_and_no_partial_golden_at_any_pool_size(
+        self, design, count
+    ):
+        serial_gen, victim, serial_msg = self.failing_generation(design, 1)
+        pooled_gen, _victim, pooled_msg = self.failing_generation(design, count)
+        assert pooled_msg == serial_msg
+        assert victim in serial_msg
+        # All-or-nothing: a failed batch registers nothing, so partial
+        # state cannot differ by worker count.
+        assert serial_gen.golden == {}
+        assert pooled_gen.golden == {}

@@ -1,0 +1,144 @@
+"""Concurrent phased pushes: failure-domain caps and determinism."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import Robotron, parallel, seed_environment
+from repro.deploy.deployer import DeployReport, cluster_domain
+from repro.faults import FaultPlan
+from repro.fbnet.models import ClusterGeneration
+
+pytestmark = pytest.mark.parallel
+
+
+def build_two_cluster_network():
+    """A fleet spanning two clusters — two distinct failure domains."""
+    robotron = Robotron()
+    env = seed_environment(robotron.store)
+    clusters = [
+        robotron.build_cluster(
+            "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+        ),
+        robotron.build_cluster(
+            "pop02.c01", env.pops["pop02"], ClusterGeneration.POP_GEN2
+        ),
+    ]
+    robotron.boot_fleet()
+    for cluster in clusters:
+        report = robotron.provision_cluster(cluster)
+        assert report.ok, report.failed
+    return robotron
+
+
+class InFlightTracker:
+    """Counts concurrent pushes, overall and per failure domain."""
+
+    def __init__(self, deployer, fleet):
+        self._deployer = deployer
+        self._fleet = fleet
+        self._lock = threading.Lock()
+        self._per_domain: dict[str, int] = {}
+        self._total = 0
+        self.max_total = 0
+        self.domain_violations: list[str] = []
+
+    def install(self):
+        original = self._deployer._push_one
+
+        def tracked(name, config):
+            domain = self._deployer.failure_domain(self._fleet.get(name))
+            with self._lock:
+                self._per_domain[domain] = self._per_domain.get(domain, 0) + 1
+                self._total += 1
+                self.max_total = max(self.max_total, self._total)
+                if self._per_domain[domain] > 1:
+                    self.domain_violations.append(name)
+            time.sleep(0.003)  # widen the race window
+            try:
+                return original(name, config)
+            finally:
+                with self._lock:
+                    self._per_domain[domain] -= 1
+                    self._total -= 1
+
+        self._deployer._push_one = tracked
+
+
+class TestFailureDomainCap:
+    def test_never_two_in_flight_pushes_in_one_domain(self):
+        robotron = build_two_cluster_network()
+        configs = dict(robotron.generator.golden)
+        batch = sorted(configs)
+        assert {cluster_domain(robotron.fleet.get(n)) for n in batch} == {
+            "pop01.c01",
+            "pop02.c01",
+        }
+        tracker = InFlightTracker(robotron.deployer, robotron.fleet)
+        tracker.install()
+        report = DeployReport(operation="phase")
+        with parallel.workers(4):
+            outcome = robotron.deployer.push_phase(configs, batch, report)
+        assert sorted(outcome.succeeded) == batch
+        assert tracker.domain_violations == []
+        # ...while the two domains really did push concurrently.
+        assert tracker.max_total > 1
+
+    def test_default_domain_map_is_fully_serial(self, pop_network):
+        # Without domain_of, every device shares one domain: even at
+        # workers=4 there is never more than one in-flight push.
+        robotron = pop_network
+        robotron.deployer._domain_of = None
+        configs = dict(robotron.generator.golden)
+        batch = sorted(configs)
+        tracker = InFlightTracker(robotron.deployer, robotron.fleet)
+        tracker.install()
+        with parallel.workers(4):
+            robotron.deployer.push_phase(configs, batch, DeployReport(operation="p"))
+        assert tracker.max_total == 1
+
+    def test_wave_plan_ignores_worker_count(self):
+        robotron = build_two_cluster_network()
+        batch = sorted(robotron.generator.golden)
+        with parallel.workers(1):
+            serial_waves = robotron.deployer._plan_waves(batch)
+        with parallel.workers(8):
+            pooled_waves = robotron.deployer._plan_waves(batch)
+        assert pooled_waves == serial_waves
+        # Two clusters: waves pair one device from each domain.
+        assert all(len(wave) <= 2 for wave in serial_waves)
+        for wave in serial_waves:
+            domains = [cluster_domain(robotron.fleet.get(n)) for n in wave]
+            assert len(set(domains)) == len(domains)
+
+
+class TestPhaseDeterminism:
+    def run_phase(self, worker_count: int, seed: int = 1337):
+        robotron = build_two_cluster_network()
+        configs = dict(robotron.generator.golden)
+        batch = sorted(configs)
+        plan = FaultPlan(seed=seed)
+        # A persistent failure in one domain and a seeded flake overall.
+        plan.inject("deploy.push", device="pop01.c01.tor2")
+        plan.inject("deploy.push", probability=0.2)
+        report = DeployReport(operation="phase")
+        with plan.installed(), parallel.workers(worker_count):
+            outcome = robotron.deployer.push_phase(configs, batch, report)
+        return {
+            "succeeded": outcome.succeeded,
+            "failed": dict(outcome.failed),
+            "injections": list(plan.injections),
+            "states": {
+                name: robotron.fleet.get(name).running_sha for name in batch
+            },
+            "clock": robotron.scheduler.clock.now,
+        }
+
+    @pytest.mark.parametrize("count", (2, 4, 8))
+    def test_outcome_identical_at_any_pool_size(self, count):
+        baseline = self.run_phase(1)
+        assert baseline["failed"]  # the plan must actually bite
+        assert self.run_phase(count) == baseline

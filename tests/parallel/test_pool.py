@@ -1,0 +1,299 @@
+"""Unit tests for the deterministic worker pool (``repro.parallel``)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import faults, obs, parallel
+from repro.faults import FaultPlan
+from repro.parallel import (
+    SLOW_TASK_SECONDS,
+    TaskClock,
+    configured_workers,
+    current_task,
+    run_tasks,
+    set_workers,
+    task_clock,
+)
+
+pytestmark = pytest.mark.parallel
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+class FakeClock:
+    """A minimal simulated clock (the pool only needs ``now``/``advance``)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+class TestConfiguration:
+    def test_default_is_one_worker(self, monkeypatch):
+        monkeypatch.delenv(parallel.WORKERS_ENV, raising=False)
+        assert configured_workers() == 1
+
+    def test_env_var_sets_the_pool_size(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "6")
+        assert configured_workers() == 6
+
+    def test_garbage_env_value_falls_back_to_one(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "lots")
+        assert configured_workers() == 1
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "2")
+        with parallel.workers(5):
+            assert configured_workers() == 5
+        assert configured_workers() == 2
+
+    def test_workers_context_restores_previous_override(self):
+        set_workers(3)
+        try:
+            with parallel.workers(7):
+                assert configured_workers() == 7
+            assert configured_workers() == 3
+        finally:
+            set_workers(None)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            set_workers(0)
+        with pytest.raises(ValueError):
+            run_tasks([("a", lambda: 1)], section="t", workers=0)
+
+
+class TestRunTasks:
+    def test_empty_batch(self):
+        assert run_tasks([], section="t") == []
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate task keys"):
+            run_tasks([("a", lambda: 1), ("a", lambda: 2)], section="t")
+
+    @pytest.mark.parametrize("count", WORKER_COUNTS)
+    def test_results_come_back_in_task_order(self, count):
+        # Later keys finish first (they sleep less): completion order is
+        # reversed, task order must not be.
+        keys = [f"task-{i}" for i in range(8)]
+
+        def work(i: int) -> int:
+            time.sleep((8 - i) * 0.001)
+            return i * i
+
+        results = run_tasks(
+            [(key, lambda i=i: work(i)) for i, key in enumerate(keys)],
+            section="t",
+            workers=count,
+        )
+        assert [r.key for r in results] == keys
+        assert [r.value for r in results] == [i * i for i in range(8)]
+        assert all(r.ok for r in results)
+
+    def test_current_task_visible_inside_a_task(self):
+        seen = {}
+
+        def work() -> None:
+            context = current_task()
+            seen["key"] = context.key
+            seen["section"] = context.section
+
+        run_tasks([("the-key", work)], section="the-section")
+        assert seen == {"key": "the-key", "section": "the-section"}
+        assert current_task() is None  # restored on the coordinator
+
+    def test_tasks_counter_incremented(self):
+        run_tasks([(str(i), lambda: None) for i in range(5)], section="t")
+        assert obs.counter("parallel.tasks", section="t").value == 5
+
+
+class TestTaskClock:
+    def test_advance_accumulates(self):
+        clock = TaskClock(10.0)
+        assert clock.now == 10.0
+        clock.advance(2.5)
+        clock.advance(0.5)
+        assert clock.now == 13.0
+        assert clock.offset == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            TaskClock(0.0).advance(-1.0)
+
+    def test_task_clock_falls_back_to_default(self):
+        sentinel = FakeClock()
+        assert task_clock(sentinel) is sentinel
+
+    @pytest.mark.parametrize("count", WORKER_COUNTS)
+    def test_batch_advances_shared_clock_by_the_maximum(self, count):
+        # Concurrent waits overlap in simulated time: the batch costs the
+        # slowest task's wait, regardless of the worker count.
+        clock = FakeClock()
+        advances = [0.5, 3.0, 1.5, 2.0]
+
+        def work(seconds: float) -> float:
+            return task_clock(None).advance(seconds)
+
+        results = run_tasks(
+            [(f"k{i}", lambda s=s: work(s)) for i, s in enumerate(advances)],
+            section="t",
+            workers=count,
+            clock=clock,
+        )
+        assert [r.clock_advance for r in results] == advances
+        assert clock.now == 3.0
+
+
+class TestFaultScopePartitioning:
+    def plan_record(self, worker_count: int, seed: int = 99) -> list:
+        """Run one pooled batch under a fresh plan; return its injections."""
+        plan = FaultPlan(seed=seed)
+        plan.inject("test.flaky", probability=0.5)
+        with plan.installed():
+            run_tasks(
+                [
+                    (f"k{i}", lambda i=i: [
+                        faults.should_inject("test.flaky", call=j)
+                        for j in range(4)
+                    ])
+                    for i in range(6)
+                ],
+                section="t",
+                workers=worker_count,
+            )
+        return list(plan.injections)
+
+    @pytest.mark.parametrize("count", WORKER_COUNTS)
+    def test_injections_independent_of_worker_count(self, count):
+        baseline = self.plan_record(1)
+        assert baseline  # the seed must actually fire something
+        assert self.plan_record(count) == baseline
+
+    def test_different_seeds_still_diverge(self):
+        assert self.plan_record(4, seed=1) != self.plan_record(4, seed=2)
+
+    def test_after_and_times_count_per_task_inside_the_pool(self):
+        plan = FaultPlan(seed=0)
+        spec = plan.inject("test.count", after=1, times=1)
+        decisions = {}
+
+        def work(key: str) -> None:
+            decisions[key] = [
+                faults.should_inject("test.count") for _ in range(3)
+            ]
+
+        with plan.installed():
+            run_tasks(
+                [(k, lambda k=k: work(k)) for k in ("a", "b")],
+                section="t",
+                workers=2,
+            )
+        # Each task skips its own first call, injects its second, and is
+        # then exhausted — identical per-task records, merged counts.
+        # (An exhausted spec stops counting ``seen``, as in serial runs.)
+        assert decisions == {
+            "a": [False, True, False],
+            "b": [False, True, False],
+        }
+        assert spec.injected == 2
+        assert spec.seen == 4
+
+
+class TestCancellation:
+    def failing_batch(self, worker_count: int):
+        ran: list[str] = []
+
+        def work(key: str) -> str:
+            ran.append(key)
+            if key == "k2":
+                raise RuntimeError("boom from k2")
+            return key
+
+        results = run_tasks(
+            [(f"k{i}", lambda i=i: work(f"k{i}")) for i in range(6)],
+            section="t",
+            workers=worker_count,
+            cancel_on_error=True,
+        )
+        return results, ran
+
+    @pytest.mark.parametrize("count", WORKER_COUNTS)
+    def test_smallest_keyed_error_raised_and_later_tasks_cancelled(self, count):
+        results, _ran = self.failing_batch(count)
+        assert [r.key for r in results] == [f"k{i}" for i in range(6)]
+        assert results[0].ok and results[1].ok
+        assert isinstance(results[2].error, RuntimeError)
+        for result in results[3:]:
+            assert result.cancelled
+            assert result.value is None and result.error is None
+        with pytest.raises(RuntimeError, match="boom from k2"):
+            parallel.raise_first_error(results)
+
+    def test_pool_drains_cleanly_after_an_error(self):
+        # The failed batch must not wedge anything: the very next batch on
+        # a fresh pool runs to completion.
+        self.failing_batch(4)
+        results = run_tasks(
+            [(str(i), lambda i=i: i) for i in range(4)],
+            section="t",
+            workers=4,
+        )
+        assert [r.value for r in results] == [0, 1, 2, 3]
+
+    def test_without_cancel_on_error_every_task_runs(self):
+        def work(i: int) -> int:
+            if i == 0:
+                raise RuntimeError("first fails")
+            return i
+
+        results = run_tasks(
+            [(str(i), lambda i=i: work(i)) for i in range(4)],
+            section="t",
+            workers=2,
+        )
+        assert results[0].error is not None
+        assert [r.value for r in results[1:]] == [1, 2, 3]
+
+
+class TestStragglers:
+    def test_slow_task_fault_does_not_wedge_the_pool(self):
+        # One injected straggler sleeps SLOW_TASK_SECONDS of wall time;
+        # the other seven tasks keep flowing through the other workers.
+        plan = FaultPlan(seed=0)
+        plan.inject("parallel.slow_task", key="k3")
+        started = time.perf_counter()
+        with plan.installed():
+            results = run_tasks(
+                [(f"k{i}", lambda i=i: i) for i in range(8)],
+                section="t",
+                workers=4,
+            )
+        elapsed = time.perf_counter() - started
+        assert [r.value for r in results] == list(range(8))
+        assert plan.injected_count("parallel.slow_task") == 1
+        # The batch cost ~one stall, not eight serialized ones.
+        assert elapsed < SLOW_TASK_SECONDS * 4
+        assert results[3].wall_seconds >= SLOW_TASK_SECONDS
+
+    def test_straggler_counted_and_kept_out_of_deterministic_dump(self):
+        plan = FaultPlan(seed=0)
+        plan.inject("parallel.slow_task", key="k0")
+        with plan.installed():
+            run_tasks(
+                [(f"k{i}", lambda: None) for i in range(6)],
+                section="t",
+                workers=2,
+            )
+        assert obs.counter("parallel.stragglers", section="t").value == 1
+        dump = obs.deterministic_dump()
+        names = {entry["name"] for entry in dump["counters"]}
+        names |= {entry["name"] for entry in dump["histograms"]}
+        assert "parallel.stragglers" not in names
+        assert "parallel.queue_depth" not in names
+        assert "parallel.tasks" in names
