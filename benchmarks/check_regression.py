@@ -54,6 +54,15 @@ FLOOR_FIELDS = {
     "BENCH_parallel": {"speedup": 2.0},
 }
 
+#: file stem -> {field: maximum} ratios that must hold absolutely —
+#: instrumentation overhead bars (ratio of instrumented to bare wall
+#: time on the same machine, so no calibration scaling is needed).
+CEILING_FIELDS = {
+    # The flight recorder rides the incremental hot path; it may cost
+    # at most 5% on a mutate + regenerate_dirty round.
+    "sec54_incremental_configgen": {"flight_overhead_ratio": 1.05},
+}
+
 
 def calibration_seconds(rounds: int = 3) -> float:
     """Wall time of a fixed CPU workload (best of ``rounds``).
@@ -82,7 +91,7 @@ def load(directory: Path, stem: str) -> dict | None:
 def check(baseline_dir: Path, current_dir: Path) -> list[str]:
     """All gate failures, empty when the run is clean."""
     failures: list[str] = []
-    for stem in sorted(set(WALL_FIELDS) | set(FLOOR_FIELDS)):
+    for stem in sorted(set(WALL_FIELDS) | set(FLOOR_FIELDS) | set(CEILING_FIELDS)):
         current = load(current_dir, stem)
         if current is None:
             failures.append(f"{stem}: no fresh result in {current_dir}")
@@ -98,6 +107,17 @@ def check(baseline_dir: Path, current_dir: Path) -> list[str]:
                 )
             else:
                 print(f"ok   {stem}.{field}: {value:.2f} (floor {floor:.0f})")
+
+        for field, ceiling in CEILING_FIELDS.get(stem, {}).items():
+            value = current.get(field)
+            if value is None:
+                failures.append(f"{stem}: fresh result lacks {field!r}")
+            elif value > ceiling:
+                failures.append(
+                    f"{stem}: {field} {value:.3f} above the {ceiling:.2f} ceiling"
+                )
+            else:
+                print(f"ok   {stem}.{field}: {value:.3f} (ceiling {ceiling:.2f})")
 
         baseline = load(baseline_dir, stem)
         if baseline is None:

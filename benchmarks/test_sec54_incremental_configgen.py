@@ -19,6 +19,7 @@ from conftest import RESULTS_DIR, publish_report
 from repro import ObjectStore, seed_environment
 from repro.common.util import format_table
 from repro.configgen.generator import ConfigGenerator
+from repro.obs import flight
 from repro.design.cluster import build_cluster
 from repro.fbnet.models import (
     AggregatedInterface,
@@ -37,6 +38,33 @@ def build_design():
         dc = f"dc{index:02d}"
         build_cluster(store, f"{dc}.c01", env.datacenters[dc], ClusterGeneration.DC_GEN3)
     return store
+
+
+def measure_flight_overhead(generator, store, pif, rounds: int = 5) -> float:
+    """Hot-path cost of the flight recorder: recorder on vs off.
+
+    Each round runs the steady-state unit of work (one mutation, one
+    ``regenerate_dirty`` walking the journal) and takes the best of
+    ``rounds`` per mode — min-of-rounds suppresses scheduler noise,
+    which would otherwise dwarf the recorder's per-event cost.
+    """
+    def one_round(tag: str) -> float:
+        store.update(pif, description=f"flight-bench {tag}")
+        started = time.perf_counter()
+        generator.regenerate_dirty()
+        return time.perf_counter() - started
+
+    recorder = flight.recorder()
+    best: dict[bool, float] = {}
+    try:
+        for enabled in (True, False):
+            recorder.enabled = enabled
+            best[enabled] = min(
+                one_round(f"{enabled}-{index}") for index in range(rounds)
+            )
+    finally:
+        recorder.enabled = True
+    return best[True] / best[False]
 
 
 def test_sec54_incremental_vs_full(benchmark):
@@ -85,6 +113,11 @@ def test_sec54_incremental_vs_full(benchmark):
         f"incremental pass only {speedup:.1f}x faster than full regeneration"
     )
 
+    # Provenance must ride the hot path for free (gated at <5% by
+    # check_regression.py); measured after the correctness assertions
+    # because each round mutates the fleet again.
+    flight_overhead_ratio = measure_flight_overhead(generator, store, pif)
+
     rows = [
         ("devices in design", str(len(devices))),
         ("initial full generation", f"{initial_seconds:.3f}s"),
@@ -93,6 +126,7 @@ def test_sec54_incremental_vs_full(benchmark):
         ("devices regenerated", f"{len(report.regenerated)} ({owner.name})"),
         ("journal records scanned", str(report.records_scanned)),
         ("speedup", f"{speedup:.0f}x"),
+        ("flight recorder overhead", f"{(flight_overhead_ratio - 1) * 100:+.1f}%"),
     ]
     text = [
         "Section 5.3/8: incremental config generation",
@@ -117,6 +151,7 @@ def test_sec54_incremental_vs_full(benchmark):
                 "devices_regenerated": sorted(report.regenerated),
                 "records_scanned": report.records_scanned,
                 "speedup": speedup,
+                "flight_overhead_ratio": flight_overhead_ratio,
                 "calibration_seconds": calibration_seconds(),
             },
             indent=2,

@@ -1,0 +1,73 @@
+"""Change provenance: one design change traced from intent to verdict.
+
+The flight recorder stitches every layer of the pipeline under one
+change id.  This example drains a PR router through a reviewed design
+change, lets ``incremental_cycle`` resume that change while it
+regenerates, pushes, and sweeps — then prints the change's lineage tree
+and the operator queries an incident would start from ("which change
+touched this device?"), and exports the full flight log as JSONL plus a
+Chrome trace for Perfetto.
+
+Run:  python examples/change_provenance.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Robotron, obs, seed_environment
+from repro.fbnet.models import ClusterGeneration, DrainState
+from repro.obs import flight
+
+
+def main() -> None:
+    robotron = Robotron()
+    env = seed_environment(robotron.store)
+    cluster = robotron.build_cluster(
+        "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2,
+    )
+    robotron.boot_fleet()
+    robotron.provision_cluster(cluster)
+    robotron.attach_monitoring()
+    robotron.run_minutes(2)
+    print(f"provisioned {len(cluster.all_devices())} devices")
+
+    # The change under observation: an engineer drains a PR router for
+    # maintenance.  The design change opens the flight context, so the
+    # journal record it commits is stamped with its change id.
+    router = cluster.devices["PR"][0]
+    with robotron.design_change(
+        employee_id="e12345",
+        ticket_id="T-4242",
+        description=f"drain {router.name} for maintenance",
+    ) as change:
+        robotron.store.update(router, drain_state=DrainState.DRAINING)
+    print(f"\ndesign change committed as {change.change_id}")
+
+    # The steady-state loop picks the change up: the dirty mapping traces
+    # the router's config back to that journal record, so the cycle
+    # *resumes* the same change id through regenerate -> push -> sweep.
+    report = robotron.incremental_cycle()
+    print(f"cycle ok: {report.ok}; "
+          f"regenerated {len(report.generation.regenerated)}, "
+          f"pushed {len(report.deploy.succeeded) if report.deploy else 0}")
+
+    print("\n--- lineage: intent -> model -> config -> deploy -> verdict ---")
+    print(flight.render_lineage(change.change_id))
+
+    print("\n--- which changes touched", router.name, "? ---")
+    for event in flight.for_device(router.name):
+        print(f"  {event.change_id or '(unattributed)'}  {event.describe()}")
+
+    out_dir = Path(__file__).resolve().parent
+    jsonl = out_dir / "flight.jsonl"
+    trace = out_dir / "flight_trace.json"
+    count = flight.export_jsonl(str(jsonl))
+    obs.export_chrome_trace(str(trace))
+    print(f"\nwrote {count} flight events to {jsonl.name}; "
+          f"Chrome trace (open in Perfetto) in {trace.name}")
+
+
+if __name__ == "__main__":
+    main()

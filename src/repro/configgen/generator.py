@@ -27,6 +27,7 @@ from time import perf_counter, sleep
 from typing import Any, Callable
 
 from repro import faults, obs, parallel
+from repro.obs import flight
 from repro.common.errors import ConfigGenerationError
 from repro.fbnet.base import Model
 from repro.fbnet.changelog import ReadSet
@@ -86,6 +87,10 @@ class IncrementalGenReport:
     #: Device name -> why it was regenerated (``"new"``, ``"untracked"``,
     #: ``"template"``, or ``"<model>#<id> <op>"`` for a journal match).
     dirty: dict[str, str] = field(default_factory=dict)
+    #: Device name -> the flight-recorder change id of the journal record
+    #: that dirtied it ("" when the reason was not a journal match, or the
+    #: matching record was written outside any change context).
+    origins: dict[str, str] = field(default_factory=dict)
     #: Freshly generated configs, by device name (the dirty subset).
     regenerated: dict[str, DeviceConfig] = field(default_factory=dict)
     #: Devices whose golden config was still current.
@@ -273,6 +278,7 @@ class ConfigGenerator:
             configs = self._generate_batch(
                 fetch_location_devices(self._store, location)
             )
+        self._flight_renders(configs)
         self._announce(list(configs.values()))
         return configs
 
@@ -280,8 +286,27 @@ class ConfigGenerator:
         """Generate configs for an explicit device list."""
         with obs.span("configgen.generate", devices=len(devices)):
             configs = self._generate_batch(list(devices))
+        self._flight_renders(configs)
         self._announce(list(configs.values()))
         return configs
+
+    def _flight_renders(self, configs: dict[str, DeviceConfig]) -> None:
+        """Record full (non-incremental) renders under the active change.
+
+        Only when a change context is open: an unattributed bulk render
+        (benchmarks, cold provisioning without intent) would flood the
+        ring without ever being queryable by change id.
+        """
+        if flight.current_change() is None:
+            return
+        for name, config in configs.items():
+            flight.record(
+                "configgen.render",
+                phase="generation",
+                device=name,
+                verdict="rendered",
+                detail=config.sha[:12],
+            )
 
     # ------------------------------------------------------------------
     # Incremental regeneration (the change-propagation pipeline)
@@ -314,12 +339,14 @@ class ConfigGenerator:
         dirty_devices: list[tuple[Model, str]] = []
         with obs.span("configgen.regenerate_dirty", devices=len(devices)):
             for device in devices:
-                reason = self._dirty_reason(device, slices, report)
-                if reason is None:
+                found = self._dirty_reason(device, slices, report)
+                if found is None:
                     report.skipped.append(device.name)
                     obs.counter("configgen.skipped").inc()
                 else:
+                    reason, origin = found
                     report.dirty[device.name] = reason
+                    report.origins[device.name] = origin
                     dirty_devices.append((device, reason))
                     obs.counter("configgen.dirty").inc()
             regenerated = self._generate_batch(
@@ -328,6 +355,21 @@ class ConfigGenerator:
             if regenerated:
                 report.regenerated.update(regenerated)
                 obs.counter("configgen.regenerated").inc(len(regenerated))
+                # Each regeneration is attributed to the change whose
+                # journal record dirtied the device — the link from the
+                # model layer to the generation layer in the lineage.
+                for device, reason in dirty_devices:
+                    if device.name not in regenerated:
+                        continue
+                    origin = report.origins.get(device.name, "")
+                    flight.record(
+                        "configgen.regen",
+                        phase="generation",
+                        change_id=origin or None,
+                        device=device.name,
+                        verdict="regenerated",
+                        detail=reason,
+                    )
             if retire_missing:
                 present = {device.name for device in devices}
                 for name in sorted(set(self.golden) - present):
@@ -342,16 +384,17 @@ class ConfigGenerator:
         device: Model,
         slices: dict[int, list[ChangeRecord]],
         report: IncrementalGenReport,
-    ) -> str | None:
-        """Why ``device`` needs regeneration, or ``None`` if still current."""
+    ) -> tuple[str, str] | None:
+        """Why ``device`` needs regeneration — ``(reason, origin change id)``
+        — or ``None`` if still current."""
         golden = self.golden.get(device.name)
         if golden is None:
-            return "new"
+            return "new", ""
         if golden.read_set is None:
-            return "untracked"
+            return "untracked", ""
         for path, version in golden.template_versions.items():
             if self.configerator.current_version(path) != version:
-                return "template"
+                return "template", ""
         records = slices.get(golden.design_position)
         if records is None:
             records = self._store.journal_since(golden.design_position)
@@ -359,7 +402,7 @@ class ConfigGenerator:
         report.records_scanned += len(records)
         match = golden.read_set.first_match(records)
         if match is not None:
-            return f"{match.model}#{match.obj_id} {match.op.value}"
+            return f"{match.model}#{match.obj_id} {match.op.value}", match.change_id
         return None
 
     # ------------------------------------------------------------------

@@ -12,7 +12,10 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from contextlib import nullcontext
+
 from repro import faults, obs
+from repro.obs import flight
 from repro.common.errors import RobotronError
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy
@@ -241,12 +244,18 @@ class Robotron:
             classifier=self.classifier,
             probe=probe,
         )
-        return self.guard.rollout(
-            configs,
-            phases,
-            max_failure_ratio=max_failure_ratio,
-            bake_seconds=bake_seconds,
-        )
+        # One change context for the whole rollout (joined if the caller
+        # already opened one): every wave, gate verdict, syslog line seen
+        # during bake, and LKG restore lands under a single change id.
+        with flight.change_context(
+            f"guarded_deploy of {len(configs)} device(s)"
+        ):
+            return self.guard.rollout(
+                configs,
+                phases,
+                max_failure_ratio=max_failure_ratio,
+                bake_seconds=bake_seconds,
+            )
 
     # ------------------------------------------------------------------
     # The incremental change-propagation cycle
@@ -271,25 +280,44 @@ class Robotron:
         """
         with obs.span("robotron.incremental_cycle"):
             generation = self.generator.regenerate_dirty(devices)
-            deploy_report = None
-            if deploy and generation.regenerated:
-                self._require_fleet()
-                assert self.deployer is not None
-                deploy_report = self.deployer.deploy(
-                    generation.regenerated, skip_unchanged=True
+            # Attribute the rest of the cycle to the change that caused
+            # it: when every journal-matched regeneration traces to one
+            # change id, the cycle *resumes* that change — deploy pushes
+            # and monitoring verdicts join the same lineage the design
+            # mutation opened.  With several (or no) origin changes, a
+            # fresh aggregate context lists them as causes.
+            origin_ids = sorted(
+                {cid for cid in generation.origins.values() if cid}
+            )
+            if generation.regenerated:
+                resume = origin_ids[0] if len(origin_ids) == 1 else None
+                cycle_ctx = flight.change_context(
+                    "incremental_cycle",
+                    change_id=resume,
+                    causes=() if resume else origin_ids,
                 )
-            discrepancies: list[ConfigDiscrepancy] = []
-            if sweep and self.confmon is not None:
-                # Default budget: just the regenerated devices (they sort
-                # first in the priority queue); callers wanting a wider
-                # audit pass an explicit sweep_limit.
-                limit = (
-                    sweep_limit
-                    if sweep_limit is not None
-                    else len(generation.regenerated)
-                )
-                if limit != 0:
-                    discrepancies = self.confmon.priority_sweep(limit)
+            else:
+                cycle_ctx = nullcontext()
+            with cycle_ctx:
+                deploy_report = None
+                if deploy and generation.regenerated:
+                    self._require_fleet()
+                    assert self.deployer is not None
+                    deploy_report = self.deployer.deploy(
+                        generation.regenerated, skip_unchanged=True
+                    )
+                discrepancies: list[ConfigDiscrepancy] = []
+                if sweep and self.confmon is not None:
+                    # Default budget: just the regenerated devices (they
+                    # sort first in the priority queue); callers wanting a
+                    # wider audit pass an explicit sweep_limit.
+                    limit = (
+                        sweep_limit
+                        if sweep_limit is not None
+                        else len(generation.regenerated)
+                    )
+                    if limit != 0:
+                        discrepancies = self.confmon.priority_sweep(limit)
         return IncrementalCycleReport(
             generation=generation,
             deploy=deploy_report,

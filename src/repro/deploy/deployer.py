@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from functools import partial
 
 from repro import faults, obs, parallel
+from repro.obs import flight
 from repro.common.errors import DeploymentError
 from repro.configgen.generator import DeviceConfig
 from repro.faults.retry import CircuitBreaker, GiveUp, RetryPolicy
@@ -152,15 +153,26 @@ class Deployer:
 
         if self._retry_policy is None:
             return once()
+
+        def on_retry(_attempt: int, exc: BaseException) -> None:
+            obs.counter("deploy.retry", device=device.name).inc()
+            # Recorded from inside the pool task: the event lands in the
+            # task's flight buffer and merges back in task-key order.
+            flight.record(
+                "deploy.retry",
+                phase="deployment",
+                device=device.name,
+                verdict="retried",
+                detail=str(exc),
+            )
+
         try:
             return self._retry_policy.execute(
                 once,
                 retryable=(CommitError,),
                 sleep=clock.advance,
                 clock=clock,
-                on_retry=lambda _i, _exc: obs.counter(
-                    "deploy.retry", device=device.name
-                ).inc(),
+                on_retry=on_retry,
             )
         except GiveUp as exc:
             assert isinstance(exc.last_error, DeploymentError)
@@ -300,6 +312,10 @@ class Deployer:
                 if skip_unchanged and self.unchanged(name, config):
                     report.skipped.append(name)
                     obs.counter("deploy.skip_unchanged", op="deploy").inc()
+                    flight.record(
+                        "deploy.push", phase="deployment", device=name,
+                        verdict="skipped", detail="running config already matches",
+                    )
                     continue
                 text = _config_text(config)
                 before = device.running_config
@@ -307,10 +323,18 @@ class Deployer:
                     self._push(device, text)
                 except DeploymentError as exc:
                     report.failed[name] = str(exc)
+                    flight.record(
+                        "deploy.push", phase="deployment", device=name,
+                        verdict="failed", detail=str(exc),
+                    )
                     continue
                 report.succeeded.append(name)
                 report.diffs[name] = unified_diff(before, text, name)
                 report.changed_lines[name] = count_changed_lines(before, text)
+                flight.record(
+                    "deploy.push", phase="deployment", device=name, verdict="ok",
+                    detail=f"{report.changed_lines[name]} line(s)",
+                )
         return self._account(report)
 
     def atomic_deploy(
@@ -390,6 +414,12 @@ class Deployer:
         outcome = PhaseOutcome()
         waves = self._plan_waves(list(batch))
         for index, wave in enumerate(waves):
+            flight.record(
+                "deploy.wave",
+                phase="deployment",
+                verdict=f"wave-{index + 1}",
+                detail=f"{len(wave)} device(s): {', '.join(wave)}",
+            )
             results = parallel.run_tasks(
                 [(name, partial(self._push_one, name, configs[name])) for name in wave],
                 section="deploy.push",
@@ -403,6 +433,10 @@ class Deployer:
                     message = str(result.error)
                     report.failed[name] = message
                     outcome.failed[name] = message
+                    flight.record(
+                        "deploy.push", phase="deployment", device=name,
+                        verdict="failed", detail=message,
+                    )
                     if breaker is not None:
                         breaker.record_failure()
                         if breaker.open:
@@ -416,9 +450,23 @@ class Deployer:
                 report.changed_lines[name] = count_changed_lines(
                     before, _config_text(configs[name])
                 )
+                flight.record(
+                    "deploy.push", phase="deployment", device=name, verdict="ok",
+                    detail=f"{report.changed_lines[name]} line(s)",
+                )
                 if breaker is not None:
                     breaker.record_success()
             if outcome.circuit_open or outcome.halted:
+                if outcome.circuit_open:
+                    flight.record(
+                        "deploy.breaker",
+                        phase="deployment",
+                        verdict="open",
+                        detail=(
+                            f"failure ratio {breaker.failure_ratio:.0%} in "
+                            f"wave-{index + 1}"
+                        ),
+                    )
                 for later in waves[index + 1 :]:
                     outcome.not_attempted.extend(later)
                 return outcome

@@ -22,6 +22,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.obs import flight
 from repro.common.errors import DeploymentError
 from repro.configgen.generator import DeviceConfig
 from repro.deploy.deployer import DeployReport, Deployer, _config_text
@@ -261,6 +262,10 @@ class DeploymentGuard:
                     obs.counter("deploy.lkg_restore", device=name).inc()
                     obs.counter("deploy.rollback", op="guarded_rollout").inc()
                     report.rolled_back.append(name)
+                    flight.record(
+                        "deploy.lkg_restore", phase="deployment", device=name,
+                        verdict="restored", detail=f"version {target}",
+                    )
                 restored.append(name)
             except DeploymentError as exc:
                 # A device that cannot be restored is a page, not a log line.
@@ -270,6 +275,10 @@ class DeploymentGuard:
                     "manual intervention needed"
                 )
                 report.failed.setdefault(name, str(exc))
+                flight.record(
+                    "deploy.lkg_restore", phase="deployment", device=name,
+                    verdict="stuck", detail=str(exc),
+                )
         restored.reverse()
         return restored, stuck
 
@@ -334,6 +343,12 @@ class DeploymentGuard:
         touched: list[str] = []
         phase_log: list[dict] = []
         failure = ""
+        flight.record(
+            "deploy.rollout",
+            phase="deployment",
+            verdict="started",
+            detail=f"{total} device(s), intent {the_hash[:12]}",
+        )
         with obs.span(
             "deploy.guarded_rollout", devices=total, intent=the_hash[:12]
         ) as span:
@@ -368,6 +383,10 @@ class DeploymentGuard:
                         f"{max_failure_ratio:.0%}"
                     )
                     phase_entry["gate"] = "not-run"
+                    flight.record(
+                        "deploy.gate", phase="deployment",
+                        verdict="not-run", detail=phase_name,
+                    )
                     span.set_attribute("circuit_open_in", phase_name)
                     break
                 if outcome.failed:
@@ -376,6 +395,10 @@ class DeploymentGuard:
                         f"{outcome.first_failure()}"
                     )
                     phase_entry["gate"] = "not-run"
+                    flight.record(
+                        "deploy.gate", phase="deployment",
+                        verdict="not-run", detail=phase_name,
+                    )
                     span.set_attribute("failed_in", phase_name)
                     break
                 bake = (
@@ -395,9 +418,17 @@ class DeploymentGuard:
                             f"{gate.reason()}"
                         )
                         phase_entry["gate"] = "failed"
+                        flight.record(
+                            "deploy.gate", phase="deployment",
+                            verdict="failed", detail=f"{phase_name}: {gate.reason()}",
+                        )
                         span.set_attribute("gate_failed_after", phase_name)
                         break
                 phase_entry["gate"] = "passed"
+                flight.record(
+                    "deploy.gate", phase="deployment",
+                    verdict="passed", detail=phase_name,
+                )
                 obs.counter("deploy.phase", phase=phase_name).inc()
             else:
                 report.skipped.extend(remaining)
@@ -425,6 +456,12 @@ class DeploymentGuard:
                 self._promote_lkg(report.succeeded, lkg)
                 span.set_attribute("outcome", result.outcome.value)
 
+        flight.record(
+            "deploy.rollout",
+            phase="deployment",
+            verdict=result.outcome.value,
+            detail=result.rollback_reason,
+        )
         Deployer._account(report)
         result.record = self._persist(
             configs,

@@ -25,6 +25,7 @@ from typing import Any
 from repro.common.errors import DesignValidationError
 from repro.fbnet.models import DesignChangeEntry
 from repro.fbnet.store import ChangeOp, ObjectStore
+from repro.obs import flight
 
 __all__ = ["ChangeSummary", "DesignChange"]
 
@@ -160,15 +161,36 @@ class DesignChange:
         self.committed_at = committed_at
         self.summary: ChangeSummary | None = None
         self.entry: DesignChangeEntry | None = None
+        #: The flight-recorder change id this design change ran under.
+        self.change_id = ""
         self._txn_cm: Any = None
+        self._flight_cm: Any = None
         self._journal_start = 0
 
     def __enter__(self) -> DesignChange:
+        # The flight context opens before the transaction so the journal
+        # records the change writes are stamped with its id — this is
+        # where intent (ticket, description) first meets the model layer.
+        self._flight_cm = flight.change_context(
+            f"{self.ticket_id}: {self.description}" if self.description
+            else self.ticket_id
+        )
+        self.change_id = self._flight_cm.__enter__().change_id
         self._txn_cm = self._store.transaction()
         self._txn_cm.__enter__()
         # Pending records live in the store's in-flight transaction buffer.
         self._journal_start = len(self._store._pending_records)
         return self
+
+    def _close_flight(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if self._flight_cm is not None:
+            self._flight_cm.__exit__(exc_type, exc, tb)
+            self._flight_cm = None
 
     def __exit__(
         self,
@@ -178,6 +200,7 @@ class DesignChange:
     ) -> bool:
         if exc_type is not None:
             self._txn_cm.__exit__(exc_type, exc, tb)
+            self._close_flight(exc_type, exc, tb)
             return False
         try:
             violations: list[str] = []
@@ -206,6 +229,15 @@ class DesignChange:
             )
         except BaseException as inner:
             self._txn_cm.__exit__(type(inner), inner, inner.__traceback__)
+            self._close_flight(type(inner), inner, inner.__traceback__)
             raise
         self._txn_cm.__exit__(None, None, None)
+        flight.record(
+            "change.commit",
+            phase="intent",
+            change_id=self.change_id,
+            verdict="committed",
+            detail=self.summary.describe().splitlines()[0],
+        )
+        self._close_flight(None, None, None)
         return False

@@ -292,6 +292,18 @@ class ChangeLog:
             if record.obj_id == obj_id and name in _family(record.model)
         ]
 
+    def for_change(self, change_id: str, since: int = 0) -> list[ChangeRecord]:
+        """Records stamped with one flight-recorder change id.
+
+        The journal-side half of provenance: given a change id from the
+        flight log, this returns exactly the rows that change wrote.
+        """
+        return [
+            record
+            for record in self.since(since)
+            if record.change_id == change_id
+        ]
+
     def models_changed(self, since: int = 0) -> set[str]:
         """The concrete model names with at least one record since ``position``."""
         return {record.model for record in self.since(since)}

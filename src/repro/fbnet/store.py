@@ -24,6 +24,7 @@ from time import perf_counter
 from typing import Any, TypeVar
 
 from repro import faults, obs
+from repro.obs import flight
 
 from repro.common.errors import (
     IntegrityError,
@@ -60,6 +61,11 @@ class ChangeRecord:
     values: dict[str, Any] = field(repr=False, default_factory=dict)
     #: Names of the fields whose values changed (UPDATE only).
     changed_fields: tuple[str, ...] = ()
+    #: The flight-recorder change this mutation belongs to ("" when the
+    #: write happened outside any change context — e.g. monitoring-derived
+    #: state).  Replication carries the id along unchanged, so a replica's
+    #: journal attributes rows to the same change as the master's.
+    change_id: str = ""
 
 
 @dataclass
@@ -224,6 +230,17 @@ class ObjectStore:
         self._undo_log = []
         self._current_txn_id = None
         self._journal.extend(records)
+        for record in records:
+            if record.change_id:
+                flight.record(
+                    "model.mutation",
+                    phase="model",
+                    change_id=record.change_id,
+                    model=record.model,
+                    object_id=record.obj_id,
+                    verdict=record.op.value,
+                    detail=", ".join(record.changed_fields),
+                )
         obs.counter("store.txn", store=self.name, status="commit").inc()
         if self._txn_started_at is not None:
             obs.histogram("store.txn.latency", store=self.name).observe(
@@ -777,6 +794,7 @@ class ObjectStore:
                 obj_id=obj_id,
                 values=values,
                 changed_fields=changed,
+                change_id=flight.current_change_id(),
             )
         )
 

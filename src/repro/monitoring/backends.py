@@ -28,6 +28,7 @@ from repro.fbnet.models import (
 )
 from repro.fbnet.query import And, Expr, Op
 from repro.fbnet.store import ObjectStore
+from repro.obs import flight
 from repro.simulation.clock import Clock
 
 __all__ = [
@@ -94,7 +95,12 @@ class DerivedModelBackend(Backend):
     def store(self, record: dict[str, Any], timestamp: float) -> None:
         handler = getattr(self, f"_store_{record['data_type'].replace('-', '_')}", None)
         if handler is not None:
-            handler(record["device"], record["payload"], timestamp)
+            # Derived rows describe what monitoring *observed*, not what
+            # the ambient change intended — a rollout baking while a
+            # collection job fires must not claim these writes, so the
+            # change context is masked for the duration.
+            with flight.suppressed():
+                handler(record["device"], record["payload"], timestamp)
 
     # -- per-data-type converters ---------------------------------------------
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from functools import partial
 
 from repro import obs, parallel
+from repro.obs import flight
 from repro.configgen.generator import ConfigGenerator, DeviceConfig
 from repro.deploy.diff import unified_diff
 from repro.devices.fleet import DeviceFleet
@@ -87,11 +88,30 @@ class ConfigMonitor:
         self._last_checked[device_name] = clock.now
         self._recent.pop(device_name, None)
         discrepancy = self._collect_and_compare(device_name)
+        self._flight_verdict(device_name, discrepancy)
         if discrepancy is None:
             return None
         self.discrepancies.append(discrepancy)
         self._notify(discrepancy)
         return discrepancy
+
+    @staticmethod
+    def _flight_verdict(
+        device_name: str, discrepancy: ConfigDiscrepancy | None
+    ) -> None:
+        """The monitoring verdict is the last hop of a change's lineage —
+        only recorded while a change is in flight (steady-state periodic
+        sweeps over a clean fleet would otherwise drown the ring)."""
+        if flight.current_change() is None:
+            return
+        flight.record(
+            "confmon.check",
+            phase="monitoring",
+            device=device_name,
+            verdict="clean" if discrepancy is None else "drift",
+            detail="" if discrepancy is None
+            else f"{len(discrepancy.diff.splitlines())} diff line(s)",
+        )
 
     def _collect_and_compare(self, device_name: str) -> ConfigDiscrepancy | None:
         """The collection half of a check — safe to run in a pool task.
@@ -187,6 +207,7 @@ class ConfigMonitor:
         parallel.raise_first_error(results)
         found = []
         for result in results:
+            self._flight_verdict(result.key, result.value)
             if result.value is not None:
                 self.discrepancies.append(result.value)
                 self._notify(result.value)

@@ -13,6 +13,8 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs import flight
+
 __all__ = ["SyslogCollector", "SyslogMessage"]
 
 
@@ -59,5 +61,17 @@ class SyslogCollector:
         """The fleet bus delivers raw events here."""
         message = SyslogMessage.from_event(event)
         self.received += 1
+        # Passive findings join the lineage only while a change is in
+        # flight (a rollout baking, a cycle sweeping) — the device told
+        # us something while we were changing it, so record it under the
+        # change.  Steady-state chatter stays out of the ring.
+        if flight.current_change() is not None:
+            flight.record(
+                "syslog.message",
+                phase="monitoring",
+                device=message.device,
+                verdict=message.tag,
+                detail=message.message,
+            )
         for sink in self._sinks:
             sink(message)

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.obs import export as _export
+from repro.obs import flight
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     Counter,
@@ -57,6 +58,8 @@ __all__ = [
     "dump_json",
     "enable",
     "enabled",
+    "export_chrome_trace",
+    "flight",
     "gauge",
     "histogram",
     "registry",
@@ -71,6 +74,7 @@ __all__ = [
 
 _registry = MetricsRegistry()
 _tracer = Tracer()
+flight._set_tracer(_tracer)
 
 
 def registry() -> MetricsRegistry:
@@ -90,12 +94,14 @@ def enable() -> None:
     """Turn instrumentation on (the default)."""
     _registry.enabled = True
     _tracer.enabled = True
+    flight.recorder().enabled = True
 
 
 def disable() -> None:
     """Turn every instrumentation call site into a no-op."""
     _registry.enabled = False
     _tracer.enabled = False
+    flight.recorder().enabled = False
 
 
 def enabled() -> bool:
@@ -103,12 +109,14 @@ def enabled() -> bool:
 
 
 def reset() -> None:
-    """Wipe all metrics, spans, and the sim clock; re-enable.  Test hook."""
+    """Wipe all metrics, spans, flight events, and the sim clock; re-enable.
+    Test hook."""
     _registry.reset()
     _registry.enabled = True
     _tracer.reset()
     _tracer.enabled = True
     _tracer.sim_clock = None
+    flight.reset()
 
 
 # -- metrics -----------------------------------------------------------------
@@ -175,3 +183,15 @@ def deterministic_dump() -> dict[str, Any]:
     :func:`repro.obs.export.deterministic_dump` for what is excluded.
     """
     return _export.deterministic_dump(_registry)
+
+
+def export_chrome_trace(path: str | None = None) -> dict[str, Any]:
+    """The span tree (plus flight events) in Chrome Trace Event format.
+
+    Load the written file in ``chrome://tracing`` or Perfetto to inspect
+    the run as a real flame chart; flight events appear as instants
+    carrying their change id and linked span id.
+    """
+    return _export.export_chrome_trace(
+        _tracer.sink, flight.timeline(), path=path
+    )

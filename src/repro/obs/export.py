@@ -18,6 +18,7 @@ from repro.obs.trace import TraceSink
 __all__ = [
     "NONDETERMINISTIC_SERIES",
     "deterministic_dump",
+    "export_chrome_trace",
     "render_json",
     "render_report",
     "snapshot",
@@ -67,10 +68,11 @@ def render_report(
             ("name", "labels", "count", "mean", "p50", "p95", "max"), rows,
         ))
     if sink is not None and len(sink):
-        sections.append(
-            f"== trace ({len(sink)} spans) ==\n"
-            + sink.render(max_roots=max_trace_roots)
-        )
+        header = f"== trace ({len(sink)} spans"
+        if sink.dropped:
+            header += f", {sink.dropped} dropped"
+        header += ") =="
+        sections.append(header + "\n" + sink.render(max_roots=max_trace_roots))
     if not sections:
         return "(no telemetry recorded)"
     return "\n\n".join(sections)
@@ -135,3 +137,75 @@ def render_json(
     indent: int | None = 2,
 ) -> str:
     return json.dumps(snapshot(registry, sink), indent=indent, sort_keys=True)
+
+
+def export_chrome_trace(
+    sink: TraceSink,
+    flight_events: list[Any] | None = None,
+    *,
+    path: str | None = None,
+) -> dict[str, Any]:
+    """Spans (and flight events) in the Chrome Trace Event JSON format.
+
+    Each finished span becomes a ``ph="X"`` complete event on one
+    timeline thread (timestamps are wall ``perf_counter`` microseconds,
+    rebased so the earliest span starts at 0); each flight event becomes
+    a ``ph="i"`` instant whose args carry the change id, verdict, and
+    linked span id — so the same identifiers join the flight log to the
+    flame chart inside Perfetto.  Returns the trace dict; also writes it
+    to ``path`` when given.
+    """
+    spans = sink.spans
+    base = min((s.started_wall for s in spans), default=0.0)
+    if flight_events:
+        base = min([base] + [e.wall_time for e in flight_events])
+    trace_events: list[dict[str, Any]] = []
+    for s in spans:
+        event: dict[str, Any] = {
+            "name": s.name,
+            "ph": "X",
+            "ts": (s.started_wall - base) * 1e6,
+            "dur": max(0.0, s.wall_duration) * 1e6,
+            "pid": 1,
+            "tid": 1,
+            "args": {
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "status": s.status,
+                **{k: repr(v) for k, v in sorted(s.attributes.items())},
+            },
+        }
+        if s.error:
+            event["args"]["error"] = s.error
+        trace_events.append(event)
+    for e in flight_events or ():
+        args = {
+            name: value
+            for name, value in (
+                ("change_id", e.change_id),
+                ("span_id", e.span_id),
+                ("device", e.device),
+                ("model", e.model),
+                ("object_id", e.object_id),
+                ("verdict", e.verdict),
+                ("detail", e.detail),
+                ("task_key", e.task_key),
+            )
+            if value not in ("", None)
+        }
+        trace_events.append({
+            "name": e.kind,
+            "ph": "i",
+            "s": "g",
+            "ts": (e.wall_time - base) * 1e6,
+            "pid": 1,
+            "tid": 2,
+            "cat": e.phase,
+            "args": args,
+        })
+    trace = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if path is not None:
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(trace) + "\n")
+    return trace

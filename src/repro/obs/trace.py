@@ -63,12 +63,21 @@ class TraceSink:
 
     def __init__(self, max_spans: int = 10_000):
         self.max_spans = max_spans
+        #: Spans evicted from the ring since the last clear — silent
+        #: truncation hides exactly the evidence a trace exists to keep,
+        #: so drops are counted here and under ``obs.trace.dropped``.
+        self.dropped = 0
         self._spans: list[Span] = []
 
     def add(self, span: Span) -> None:
         self._spans.append(span)
-        if len(self._spans) > self.max_spans:
-            del self._spans[: len(self._spans) - self.max_spans]
+        overflow = len(self._spans) - self.max_spans
+        if overflow > 0:
+            del self._spans[:overflow]
+            self.dropped += overflow
+            from repro import obs
+
+            obs.counter("obs.trace.dropped").inc(overflow)
 
     @property
     def spans(self) -> list[Span]:
@@ -80,6 +89,7 @@ class TraceSink:
 
     def clear(self) -> None:
         self._spans.clear()
+        self.dropped = 0
 
     def find(self, name: str) -> list[Span]:
         return [span for span in self._spans if span.name == name]

@@ -43,6 +43,7 @@ from statistics import median
 from typing import Any
 
 from repro import faults, obs
+from repro.obs import flight
 
 __all__ = [
     "SLOW_TASK_SECONDS",
@@ -226,6 +227,14 @@ def run_tasks(
     plan = faults.active_plan()
     results = [TaskResult(key=key) for key in keys]
     scopes: list[Any] = [None] * len(task_list)
+    # Change provenance crosses the pool the same way fault scopes do:
+    # the coordinator's ChangeContext (a contextvar, invisible to pool
+    # threads) is captured here and re-activated inside each task, and
+    # each task's flight events land in a private buffer merged back in
+    # task-key order below — so the flight log is identical at any
+    # worker count.
+    inherited_change = flight.current_change()
+    event_buffers: list[list[Any]] = [[] for _ in task_list]
     stop = threading.Event()
     state_lock = threading.Lock()
     started_count = 0
@@ -250,21 +259,25 @@ def run_tasks(
         context = TaskContext(key=key, section=section, clock=local_clock)
         previous = getattr(_current, "task", None)
         _current.task = context
+        change_token = flight.activate(inherited_change)
         started = time.perf_counter()
         try:
-            if plan is not None:
-                with plan.task_scope(key, clock=local_clock) as scope:
-                    scopes[index] = scope
+            with flight.task_buffer() as buffer:
+                event_buffers[index] = buffer
+                if plan is not None:
+                    with plan.task_scope(key, clock=local_clock) as scope:
+                        scopes[index] = scope
+                        _maybe_straggle(section, key)
+                        result.value = fn()
+                else:
                     _maybe_straggle(section, key)
                     result.value = fn()
-            else:
-                _maybe_straggle(section, key)
-                result.value = fn()
         except BaseException as exc:  # noqa: BLE001 - merged, re-raised in key order
             result.error = exc
             if cancel_on_error:
                 stop.set()
         finally:
+            flight.deactivate(change_token)
             _current.task = previous
             result.wall_seconds = time.perf_counter() - started
             if local_clock is not None:
@@ -307,6 +320,9 @@ def run_tasks(
         for index in range(merge_until):
             if scopes[index] is not None and not results[index].cancelled:
                 plan.merge_scope(scopes[index])
+    for index in range(merge_until):
+        if event_buffers[index] and not results[index].cancelled:
+            flight.merge_events(event_buffers[index])
     if clock is not None and merged:
         advance = max(result.clock_advance for result in merged)
         if advance > 0.0:

@@ -1,0 +1,238 @@
+"""Unit tests for the flight recorder: contexts, ring, queries, exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import flight
+from repro.obs.flight import FlightRecorder
+
+pytestmark = pytest.mark.obs
+
+
+class TestChangeContext:
+    def test_fresh_context_allocates_sequential_ids(self):
+        with flight.change_context("first") as a:
+            pass
+        with flight.change_context("second") as b:
+            pass
+        assert a.change_id == "chg-000001"
+        assert b.change_id == "chg-000002"
+
+    def test_open_and_close_events_bracket_the_change(self):
+        with flight.change_context("add circuit"):
+            flight.record("model.mutation", phase="model", model="Circuit")
+        kinds = [e.kind for e in flight.timeline()]
+        assert kinds == ["change.open", "model.mutation", "change.close"]
+        assert len({e.change_id for e in flight.timeline()}) == 1
+
+    def test_abort_records_the_error_and_reraises(self):
+        with pytest.raises(ValueError):
+            with flight.change_context("doomed"):
+                raise ValueError("boom")
+        abort = flight.timeline()[-1]
+        assert abort.kind == "change.abort"
+        assert abort.verdict == "error"
+        assert "boom" in abort.detail
+
+    def test_nested_entry_points_join_the_active_change(self):
+        with flight.change_context("outer") as outer:
+            with flight.change_context("inner") as inner:
+                assert inner is outer
+                flight.record("deploy.push", phase="deployment", device="d1")
+        events = flight.for_change(outer.change_id)
+        # No second open/close pair: the inner entry point joined.
+        assert [e.kind for e in events] == [
+            "change.open", "deploy.push", "change.close",
+        ]
+
+    def test_resume_reopens_an_earlier_change_id(self):
+        with flight.change_context("original") as original:
+            pass
+        with flight.change_context(
+            "cycle", change_id=original.change_id
+        ) as resumed:
+            assert resumed.resumed
+            flight.record("configgen.regen", phase="generation", device="d1")
+        kinds = [e.kind for e in flight.for_change(original.change_id)]
+        assert "change.resume" in kinds
+        assert "configgen.regen" in kinds
+
+    def test_causes_listed_when_aggregating_changes(self):
+        with flight.change_context("cycle", causes=("chg-000009", "chg-000010")):
+            pass
+        opened = flight.timeline()[0]
+        assert "chg-000009" in opened.detail and "chg-000010" in opened.detail
+
+    def test_suppressed_blocks_recording_and_attribution(self):
+        with flight.change_context("observing") as ctx:
+            with flight.suppressed():
+                assert flight.current_change() is None
+                assert flight.current_change_id() == ""
+                flight.record("model.mutation", phase="model", model="Derived")
+        # Only the open/close pair: the suppressed record never landed.
+        assert [e.kind for e in flight.for_change(ctx.change_id)] == [
+            "change.open", "change.close",
+        ]
+
+    def test_unattributed_events_have_empty_change_id(self):
+        flight.record("confmon.check", phase="monitoring", device="d1")
+        assert flight.timeline()[0].change_id == ""
+
+
+class TestRingBuffer:
+    def test_eviction_counts_instead_of_silently_truncating(self):
+        recorder = FlightRecorder(max_events=3)
+        for index in range(5):
+            recorder.record("confmon.check", phase="monitoring", device=f"d{index}")
+        assert len(recorder) == 3
+        assert recorder.dropped == 2
+        # Oldest evicted; sequence numbers keep counting.
+        assert [e.device for e in recorder.timeline()] == ["d2", "d3", "d4"]
+        assert [e.seq for e in recorder.timeline()] == [3, 4, 5]
+        assert recorder.deterministic_dump()["dropped"] == 2
+
+    def test_global_recorder_eviction_bumps_the_metric(self):
+        recorder = flight.recorder()
+        original = recorder.max_events
+        recorder.max_events = 2
+        try:
+            for index in range(4):
+                flight.record("confmon.check", phase="monitoring", device=f"d{index}")
+        finally:
+            recorder.max_events = original
+        assert obs.counter("obs.flight.dropped").value == 2
+
+    def test_reset_clears_events_drops_and_id_allocation(self):
+        with flight.change_context("before"):
+            pass
+        obs.reset()
+        assert flight.timeline() == []
+        with flight.change_context("after") as ctx:
+            pass
+        assert ctx.change_id == "chg-000001"
+
+    def test_disable_stops_recording(self):
+        obs.disable()
+        flight.record("confmon.check", phase="monitoring", device="d1")
+        assert flight.timeline() == []
+        obs.enable()
+        flight.record("confmon.check", phase="monitoring", device="d1")
+        assert len(flight.timeline()) == 1
+
+
+class TestQueries:
+    def _populate(self):
+        with flight.change_context("change one") as one:
+            flight.record("deploy.push", phase="deployment", device="tor1")
+        with flight.change_context("change two") as two:
+            flight.record("deploy.push", phase="deployment", device="tor2")
+            flight.record("confmon.check", phase="monitoring", device="tor1")
+        return one, two
+
+    def test_for_change_returns_only_that_lineage(self):
+        one, two = self._populate()
+        assert {e.change_id for e in flight.for_change(one.change_id)} == {
+            one.change_id
+        }
+        assert len(flight.for_change(one.change_id)) == 3
+        assert len(flight.for_change(two.change_id)) == 4
+
+    def test_for_device_crosses_changes(self):
+        one, two = self._populate()
+        tor1 = flight.for_device("tor1")
+        assert {e.change_id for e in tor1} == {one.change_id, two.change_id}
+
+    def test_changes_lists_ids_in_first_appearance_order(self):
+        one, two = self._populate()
+        assert flight.recorder().changes() == [one.change_id, two.change_id]
+
+    def test_timeline_is_sequence_ordered(self):
+        self._populate()
+        seqs = [e.seq for e in flight.timeline()]
+        assert seqs == sorted(seqs)
+
+
+class TestRenderLineage:
+    def test_groups_by_phase_with_intent_and_outcome(self):
+        with flight.change_context("raise MTU") as ctx:
+            flight.record(
+                "model.mutation", phase="model", model="Interface",
+                object_id=7, verdict="update",
+            )
+            flight.record(
+                "deploy.push", phase="deployment", device="tor1", verdict="ok",
+            )
+        tree = flight.render_lineage(ctx.change_id)
+        assert "'raise MTU'" in tree
+        assert "[ok]" in tree
+        assert "model (1)" in tree
+        assert "deployment (1)" in tree
+        assert "Interface#7" in tree
+
+    def test_unknown_change_renders_a_message(self):
+        assert "no flight events" in flight.render_lineage("chg-999999")
+
+
+class TestExports:
+    def test_deterministic_dump_excludes_wall_time_and_span_ids(self):
+        with obs.span("outer"):
+            flight.record("confmon.check", phase="monitoring", device="d1")
+        event = flight.timeline()[0]
+        assert event.span_id is not None  # captured for the JSONL/trace
+        dumped = flight.deterministic_dump()["events"][0]
+        assert "span_id" not in dumped and "wall_time" not in dumped
+        assert dumped["device"] == "d1"
+
+    def test_export_jsonl_round_trips_every_field(self, tmp_path):
+        with flight.change_context("jsonl"):
+            flight.record("deploy.push", phase="deployment", device="d1")
+        path = tmp_path / "flight.jsonl"
+        count = flight.export_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 3
+        rows = [json.loads(line) for line in lines]
+        assert rows[1]["kind"] == "deploy.push"
+        assert {"seq", "change_id", "wall_time", "span_id"} <= set(rows[0])
+
+    def test_chrome_trace_links_spans_and_flight_events(self, tmp_path):
+        with obs.span("deploy.deploy", devices=1):
+            flight.record(
+                "deploy.push", phase="deployment", device="d1", verdict="ok",
+            )
+        path = tmp_path / "trace.json"
+        trace = obs.export_chrome_trace(str(path))
+        assert json.loads(path.read_text()) == trace
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert complete and instants
+        span_ids = {e["args"]["span_id"] for e in complete}
+        # The instant's span link resolves to an exported span.
+        assert instants[0]["args"]["span_id"] in span_ids
+        assert instants[0]["cat"] == "deployment"
+        # Timestamps are rebased to the earliest event.
+        assert min(e["ts"] for e in trace["traceEvents"]) == 0.0
+
+
+class TestTraceSinkDrops:
+    def test_span_eviction_is_counted_not_silent(self):
+        sink = obs.tracer().sink
+        original = sink.max_spans
+        sink.max_spans = 2
+        try:
+            for index in range(5):
+                with obs.span(f"op{index}"):
+                    pass
+        finally:
+            sink.max_spans = original
+        assert sink.dropped == 3
+        assert obs.counter("obs.trace.dropped").value == 3
+        assert "3 dropped" in obs.report()
+
+    def test_report_omits_drop_note_when_nothing_dropped(self):
+        with obs.span("op"):
+            pass
+        assert "dropped" not in obs.report()
