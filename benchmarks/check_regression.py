@@ -46,6 +46,7 @@ WALL_FIELDS = {
     ),
     "sec53_deployment_modes": ("drill_seconds",),
     "BENCH_parallel": ("serial_seconds", "parallel_seconds"),
+    "BENCH_remediation": ("convergence_seconds",),
 }
 
 #: file stem -> {field: minimum} ratios that must hold absolutely.

@@ -1,0 +1,117 @@
+"""Auto-remediation: the closed loop from detection to verified repair.
+
+The paper's monitoring pipeline feeds back into the top of the stack:
+ConfMon notices config drift, the syslog classifier flags urgent
+hardware alarms, and Robotron itself decides what to do about both.
+``repro.remediation`` is that decision layer — a per-device state
+machine (healthy → suspect → remediating → verified) with a bounded
+retry budget, driving every repair through the same guarded deployment
+pipeline (canary phase, health gate, last-known-good rollback) that
+human-initiated changes use.
+
+This script stages three concurrent incidents on a live POP cluster:
+
+* an out-of-band config edit on a ToR (drift → restore the golden);
+* a critical PSU alarm on a PSW (urgent syslog → drain the device);
+* a second drifted device whose pushes keep failing (retry budget →
+  quarantine after ``max_attempts``).
+
+Then it runs ``Robotron.remediation_loop()`` and prints what the engine
+did, sweep by sweep, plus the flight-recorder lineage that ties each
+automatic action back to the detection that caused it.
+
+Run:  python examples/auto_remediation.py [seed]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Robotron, obs, seed_environment
+from repro.faults import FaultPlan
+from repro.fbnet.models import ClusterGeneration
+from repro.obs import flight
+from repro.remediation import RemediationPolicy
+
+DRIFTED = "pop01.c01.tor1"
+ALARMED = "pop01.c01.psw1"
+DOOMED = "pop01.c01.tor2"
+
+
+def drift(device) -> None:
+    """An engineer edits a device out of band (valid, vendor-aware)."""
+    if device.vendor == "vendor1":
+        hacked = device.running_config + "interface et9/9\n no shutdown\n!\n"
+    else:
+        hacked = device.running_config + "interfaces {\n    et9/9 {\n    }\n}\n"
+    device.commit(hacked)
+
+
+def main(seed: int) -> None:
+    robotron = Robotron()
+    env = seed_environment(robotron.store)
+    cluster = robotron.build_cluster(
+        "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+    )
+    robotron.boot_fleet()
+    report = robotron.provision_cluster(cluster)
+    assert report.ok, report.failed
+    robotron.attach_monitoring()
+    robotron.attach_remediation(
+        RemediationPolicy(bake_seconds=0.0, cooldown_seconds=120.0)
+    )
+
+    print(f"== Auto-remediation (seed={seed}) ==")
+    print("staging three incidents:")
+    print(f"  {DRIFTED}: out-of-band config edit")
+    print(f"  {ALARMED}: critical PSU alarm")
+    print(f"  {DOOMED}: config edit + every push to it fails")
+
+    drift(robotron.fleet.get(DRIFTED))
+    drift(robotron.fleet.get(DOOMED))
+    robotron.fleet.get(ALARMED).emit_syslog(
+        "HW", "Critical Power lost on PSU 1"
+    )
+    plan = FaultPlan(seed=seed)
+    plan.inject("deploy.push", device=DOOMED)  # persistent
+    robotron.install_fault_plan(plan)
+
+    result = robotron.remediation_loop(max_sweeps=20, period=60.0)
+
+    print(f"\nconverged={result.converged} after {result.sweeps} sweeps")
+    print("-- actions --")
+    for action in result.actions:
+        verdict = "ok" if action.ok else f"failed ({action.detail})"
+        print(f"  #{action.attempt} {action.action:>14} on "
+              f"{action.device}: {verdict}")
+    print("-- final states --")
+    for name, state in sorted(result.states.items()):
+        print(f"  {name:>18}: {state}")
+
+    print("-- attribution (flight recorder) --")
+    for action in result.actions:
+        opened = [
+            e
+            for e in flight.for_change(action.change_id)
+            if e.kind == "change.open"
+        ]
+        kinds = sorted({e.kind for e in flight.for_change(action.change_id)})
+        print(f"  {action.change_id} ({action.action} on {action.device})")
+        print(f"    intent: {opened[0].detail}")
+        print(f"    spans:  {', '.join(kinds)}")
+
+    print("-- counters --")
+    for name in ("remediation.detect", "remediation.action",
+                 "remediation.quarantine", "deploy.operation",
+                 "deploy.rollback"):
+        total = sum(
+            s.value
+            for s in obs.registry().series()
+            if s.name == name and s.kind == "counter"
+        )
+        print(f"  {name:>24} = {total:.0f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1337)

@@ -9,7 +9,7 @@ models, and guarding config conformance.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
 from contextlib import nullcontext
@@ -108,6 +108,8 @@ class Robotron:
         self.collector: SyslogCollector | None = None
         self.classifier: Classifier | None = None
         self.confmon: ConfigMonitor | None = None
+        #: The closed-loop remediation engine (attach_remediation()).
+        self.remediation = None
         self.tsdb = TimeSeriesBackend()
         self.notifications: list[str] = []
 
@@ -257,6 +259,36 @@ class Robotron:
                 bake_seconds=bake_seconds,
             )
 
+    def guarded_push(
+        self,
+        configs: Mapping[str, DeviceConfig],
+        *,
+        bake_seconds: float = 0.0,
+        max_failure_ratio: float | None = None,
+        phase_name: str = "guarded-push",
+    ) -> DeployReport:
+        """A single-phase guarded rollout with a plain-deploy signature.
+
+        The adapter that lets ``Pusher``-shaped call sites (drains, the
+        remediation engine) inherit canary gating and LKG rollback: one
+        100% phase, and — because a gate-failure rollback restores
+        devices without marking their pushes failed — any non-succeeded
+        outcome is folded into ``report.failed`` so callers' compensation
+        paths fire.
+        """
+        rollout = self.guarded_deploy(
+            dict(configs),
+            [PhaseSpec(name=phase_name, percentage=100.0)],
+            max_failure_ratio=max_failure_ratio,
+            bake_seconds=bake_seconds,
+        )
+        report = rollout.report
+        if not rollout.ok:
+            reason = rollout.rollback_reason or rollout.outcome.value
+            for name in configs:
+                report.failed.setdefault(name, reason)
+        return report
+
     # ------------------------------------------------------------------
     # The incremental change-propagation cycle
     # ------------------------------------------------------------------
@@ -383,8 +415,19 @@ class Robotron:
             self._peering_tool = PeeringDesignTool(self.store)
         return self._peering_tool
 
-    def drain(self, device_name: str, *, reason: str = "maintenance"):
-        """Drain one device out of production traffic (sections 1, 6.1)."""
+    def drain(
+        self,
+        device_name: str,
+        *,
+        reason: str = "maintenance",
+        guarded: bool = False,
+    ):
+        """Drain one device out of production traffic (sections 1, 6.1).
+
+        With ``guarded``, the drained config is pushed through
+        :meth:`guarded_push` (health gate + LKG rollback) instead of a
+        plain deploy.
+        """
         from repro.deploy.maintenance import drain_device
 
         self._require_fleet()
@@ -392,9 +435,16 @@ class Robotron:
         return drain_device(
             self.store, self.fleet, self.generator, self.deployer,
             device_name, reason=reason,
+            pusher=self.guarded_push if guarded else None,
         )
 
-    def undrain(self, device_name: str, *, reason: str = "maintenance complete"):
+    def undrain(
+        self,
+        device_name: str,
+        *,
+        reason: str = "maintenance complete",
+        guarded: bool = False,
+    ):
         """Return a drained device to production traffic."""
         from repro.deploy.maintenance import undrain_device
 
@@ -403,6 +453,47 @@ class Robotron:
         return undrain_device(
             self.store, self.fleet, self.generator, self.deployer,
             device_name, reason=reason,
+            pusher=self.guarded_push if guarded else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Closed-loop remediation
+    # ------------------------------------------------------------------
+
+    def attach_remediation(self, policy=None):
+        """Stand up the closed-loop remediation engine over monitoring.
+
+        Requires :meth:`attach_monitoring` first — the engine subscribes
+        to ConfMon drift notifications and the syslog urgency stream.
+        Returns the attached :class:`repro.remediation.RemediationEngine`
+        (also kept on ``self.remediation``).
+        """
+        from repro.remediation import RemediationEngine
+
+        engine = RemediationEngine(self, policy)
+        engine.attach()
+        self.remediation = engine
+        return engine
+
+    def remediation_loop(
+        self,
+        *,
+        max_sweeps: int = 20,
+        period: float = 60.0,
+        sweep_limit: int | None = None,
+    ):
+        """Run the detect → act → verify loop until the fleet converges.
+
+        Every device the loop touched ends ``verified`` (the corrective
+        action landed and live state checked out) or ``quarantined``
+        (drained out of traffic after the attempt budget) — never parked
+        mid-transition.  See :class:`repro.remediation.RemediationEngine`.
+        """
+        engine = getattr(self, "remediation", None)
+        if engine is None:
+            engine = self.attach_remediation()
+        return engine.run(
+            max_sweeps=max_sweeps, period=period, sweep_limit=sweep_limit
         )
 
     # ------------------------------------------------------------------

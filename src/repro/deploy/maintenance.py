@@ -11,21 +11,35 @@ Draining here is intent-first, like everything in Robotron: the Desired
 ``drain_state`` changes, config generation derives BGP neighbor shutdowns
 from it, and deployment pushes the drained config.  Undraining reverses
 the sequence.
+
+Because the Desired write comes *first*, a failed push would leave FBNet
+claiming a state the device never reached.  The push is therefore wrapped
+in a compensating transaction: on deployment failure the device's
+``drain_state`` is reverted, a failed :class:`DrainEvent` is recorded,
+and the golden config is regenerated from the restored intent — Desired
+never diverges from Actual (counted under ``deploy.drain_rollback``).
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
+from repro import obs
+from repro.obs import flight
 from repro.common.errors import DeploymentError
-from repro.configgen.generator import ConfigGenerator
-from repro.deploy.deployer import Deployer
+from repro.configgen.generator import ConfigGenerator, DeviceConfig
+from repro.deploy.deployer import DeployReport, Deployer
 from repro.devices.fleet import DeviceFleet
 from repro.fbnet.models import Device, DrainEvent, DrainState
 from repro.fbnet.query import Expr, Op
 from repro.fbnet.store import ObjectStore
 
 __all__ = ["MaintenanceResult", "drain_device", "undrain_device"]
+
+#: Signature of an alternative push path (e.g. a guarded rollout) the
+#: caller may route the drain config through instead of a plain deploy.
+Pusher = Callable[[Mapping[str, DeviceConfig]], DeployReport]
 
 
 @dataclass(frozen=True)
@@ -53,8 +67,10 @@ def _apply_drain_state(
     device_name: str,
     target: DrainState,
     reason: str,
+    pusher: Pusher | None = None,
 ) -> MaintenanceResult:
     device = _find_device(store, device_name)
+    previous = device.drain_state
     with store.transaction():
         store.update(device, drain_state=target)
         store.create(
@@ -65,8 +81,33 @@ def _apply_drain_state(
             at=fleet.scheduler.clock.now,
         )
     config = generator.generate_device(device)
-    report = deployer.deploy({device_name: config})
+    push = pusher if pusher is not None else deployer.deploy
+    report = push({device_name: config})
     if not report.ok:
+        failure = report.failed.get(device_name, str(report.failed))
+        # Compensating transaction: the push never landed, so the Desired
+        # write above must not survive — revert the drain state, record
+        # the failed attempt, and regenerate golden from the restored
+        # intent so ConfMon doesn't chase a config the fleet never ran.
+        with store.transaction():
+            store.update(device, drain_state=previous)
+            store.create(
+                DrainEvent,
+                device=device,
+                state=previous,
+                reason=f"reverted {target.value}: push failed: {failure}",
+                at=fleet.scheduler.clock.now,
+                succeeded=False,
+            )
+        generator.generate_device(device)
+        obs.counter("deploy.drain_rollback", device=device_name).inc()
+        flight.record(
+            "deploy.drain_rollback",
+            phase="deployment",
+            device=device_name,
+            verdict="reverted",
+            detail=f"{target.value} push failed: {failure}",
+        )
         raise DeploymentError(
             f"{device_name}: drain-state deployment failed: {report.failed}"
         )
@@ -82,6 +123,39 @@ def _apply_drain_state(
     )
 
 
+def _record_verify_failure(
+    store: ObjectStore,
+    fleet: DeviceFleet,
+    device: Device,
+    target: DrainState,
+    detail: str,
+) -> None:
+    """A drain/undrain deployed but verification found live state wrong.
+
+    The device is genuinely half-transitioned (config pushed, sessions
+    disagree), so the Desired state stands — but the failure must be
+    visible: a failed :class:`DrainEvent` for auditors and a flight event
+    for anyone tracing the change, not just a raised exception.
+    """
+    with store.transaction():
+        store.create(
+            DrainEvent,
+            device=device,
+            state=target,
+            reason=f"verification failed: {detail}",
+            at=fleet.scheduler.clock.now,
+            succeeded=False,
+        )
+    obs.counter("deploy.drain_verify_fail", device=device.name).inc()
+    flight.record(
+        "deploy.drain",
+        phase="deployment",
+        device=device.name,
+        verdict="verify-failed",
+        detail=detail,
+    )
+
+
 def drain_device(
     store: ObjectStore,
     fleet: DeviceFleet,
@@ -91,16 +165,20 @@ def drain_device(
     *,
     reason: str = "maintenance",
     verify: bool = True,
+    pusher: Pusher | None = None,
 ) -> MaintenanceResult:
     """Take a device out of production traffic before risky work.
 
     Sets the Desired ``drain_state`` to DRAINED, regenerates the config
-    (every BGP neighbor gains a shutdown), deploys it, and — when
-    ``verify`` — confirms from the live fleet that no session on the
-    device remains established.
+    (every BGP neighbor gains a shutdown), deploys it — through
+    ``pusher`` when given, e.g. a guarded rollout — and, when ``verify``,
+    confirms from the live fleet that no session on the device remains
+    established.  A verification failure is recorded (failed
+    ``DrainEvent`` + flight event) before it raises.
     """
     result = _apply_drain_state(
-        store, fleet, generator, deployer, device_name, DrainState.DRAINED, reason
+        store, fleet, generator, deployer, device_name,
+        DrainState.DRAINED, reason, pusher,
     )
     if verify:
         emulated = fleet.get(device_name)
@@ -110,6 +188,11 @@ def drain_device(
             if entry["state"] == "established"
         ]
         if still_up:
+            detail = f"sessions still established: {', '.join(still_up)}"
+            _record_verify_failure(
+                store, fleet, _find_device(store, device_name),
+                DrainState.DRAINED, detail,
+            )
             raise DeploymentError(
                 f"{device_name}: sessions still established after drain: {still_up}"
             )
@@ -125,14 +208,17 @@ def undrain_device(
     *,
     reason: str = "maintenance complete",
     verify: bool = True,
+    pusher: Pusher | None = None,
 ) -> MaintenanceResult:
     """Return a drained device to production traffic.
 
     When ``verify``, confirms every configured session re-establishes —
-    undrain is only safe when the far ends agree.
+    undrain is only safe when the far ends agree.  Verification failures
+    are recorded the same way :func:`drain_device` records them.
     """
     result = _apply_drain_state(
-        store, fleet, generator, deployer, device_name, DrainState.UNDRAINED, reason
+        store, fleet, generator, deployer, device_name,
+        DrainState.UNDRAINED, reason, pusher,
     )
     if verify:
         emulated = fleet.get(device_name)
@@ -142,6 +228,11 @@ def undrain_device(
             if entry["state"] != "established"
         ]
         if down:
+            detail = f"sessions not re-established: {', '.join(down)}"
+            _record_verify_failure(
+                store, fleet, _find_device(store, device_name),
+                DrainState.UNDRAINED, detail,
+            )
             raise DeploymentError(
                 f"{device_name}: sessions not re-established after undrain: {down}"
             )

@@ -42,9 +42,11 @@ class RetryPolicy:
     * ``base_delay``/``multiplier``/``max_delay`` — exponential backoff:
       attempt *n* (0-based retry index) sleeps
       ``min(base_delay * multiplier**n, max_delay)`` simulated seconds;
-    * ``jitter`` — fraction of each delay randomized ("full jitter" over
-      ``[1-jitter, 1+jitter]``), drawn from a per-execute RNG seeded with
-      ``jitter_seed`` so schedules are deterministic;
+    * ``jitter`` — fraction of each delay randomized (*equal/bounded
+      jitter* over ``[1-jitter, 1+jitter]`` — not AWS-style "full
+      jitter", which draws from ``[0, delay]``), drawn from a per-execute
+      RNG seeded with ``jitter_seed`` so schedules are deterministic;
+      must lie in ``[0, 1]`` so the band can never go negative;
     * ``timeout`` — give up once the *next* backoff would push total
       simulated elapsed time past this bound (None = unbounded).
     """
@@ -64,8 +66,10 @@ class RetryPolicy:
             raise ValueError("delays must be non-negative")
         if self.multiplier < 1.0:
             raise ValueError("multiplier must be >= 1")
-        if not 0.0 <= self.jitter < 1.0:
-            raise ValueError("jitter must be in [0, 1)")
+        if not 0.0 <= self.jitter <= 1.0:
+            # jitter > 1 would make the [1-jitter, 1+jitter] band dip
+            # below zero and produce negative backoff delays.
+            raise ValueError("jitter must be in [0, 1]")
 
     def backoff(self, retry_index: int, rng: random.Random | None = None) -> float:
         """The delay before retry ``retry_index`` (0-based)."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.fbnet.base import Model, ModelGroup
 from repro.fbnet.fields import (
+    BoolField,
     CharField,
     DateTimeField,
     EnumField,
@@ -108,6 +109,9 @@ class DrainEvent(Model):
     state = EnumField(DrainState)
     reason = CharField(default="")
     at = DateTimeField(default=0.0)
+    #: False for compensating records: a push that failed and was rolled
+    #: back, or a post-deploy verification that found live state wrong.
+    succeeded = BoolField(default=True)
 
 
 class MaintenanceWindow(Model):

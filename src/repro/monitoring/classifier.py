@@ -81,6 +81,20 @@ class Classifier:
     def on_alert(self, sink: Callable[[Alert], None]) -> None:
         self._alert_sinks.append(sink)
 
+    def match(self, message: SyslogMessage) -> SyslogRule | None:
+        """The rule that would classify ``message`` — without recording.
+
+        Side-effect-free lookup for detector adapters (e.g. the
+        remediation engine's syslog-urgency detector) that need a
+        message's severity but must not double-count Table 3's event
+        tallies or re-raise alerts.
+        """
+        line = message.render()
+        for rule, pattern in self._rules:
+            if pattern.search(line):
+                return rule
+        return None
+
     def register_remediation(self, name: str, fn: Callable[[Alert], None]) -> None:
         """Attach an automatic remediation callable to a remediation name."""
         self._remediations[name] = fn

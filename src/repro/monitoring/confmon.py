@@ -54,7 +54,11 @@ class ConfigMonitor:
         self._jobs = job_manager
         self.backup = backup or ConfigBackupBackend()
         self._jobs.register_backend(self.backup)
-        self._notify = notifier or (lambda _d: None)
+        #: Discrepancy sinks, fanned out in subscription order.  The
+        #: remediation engine subscribes here as its drift detector.
+        self._notifiers: list[Callable[[ConfigDiscrepancy], None]] = []
+        if notifier is not None:
+            self._notifiers.append(notifier)
         #: Every discrepancy detected, newest last.
         self.discrepancies: list[ConfigDiscrepancy] = []
         #: Device -> sim time its golden config was last regenerated.
@@ -62,6 +66,16 @@ class ConfigMonitor:
         self._recent: dict[str, float] = {}
         #: Device -> sim time it was last checked (any trigger).
         self._last_checked: dict[str, float] = {}
+
+    def subscribe_notifier(
+        self, notifier: Callable[[ConfigDiscrepancy], None]
+    ) -> None:
+        """Add a discrepancy sink alongside the constructor's notifier."""
+        self._notifiers.append(notifier)
+
+    def _notify(self, discrepancy: ConfigDiscrepancy) -> None:
+        for notifier in self._notifiers:
+            notifier(discrepancy)
 
     # ------------------------------------------------------------------
     # Passive trigger

@@ -25,8 +25,14 @@ process-unique **change id**.  Every layer then emits typed
 ``deploy.rollout``      a guarded rollout started / finished (outcome verdict)
 ``deploy.gate``         a post-phase health-gate verdict
 ``deploy.lkg_restore``  a device restored to last-known-good during rollback
+``deploy.drain``        a drain/undrain verification verdict for one device
+``deploy.drain_rollback``  a failed drain push compensated in the store
 ``confmon.check``       a drift verdict (clean / drift) for one device
 ``syslog.message``      a syslog line received while a change was in flight
+``remediation.detect``  the remediation engine accepted a detection
+``remediation.action``  an automatic remediation action was selected
+``remediation.verify``  post-action verification verdict for one device
+``remediation.quarantine``  a device exhausted remediation and was drained
 ======================  ====================================================
 
 Events emitted inside :func:`repro.parallel.run_tasks` tasks land in

@@ -1,0 +1,43 @@
+"""repro.remediation — closed-loop automatic remediation.
+
+Ties the monitoring plane back to the deployment plane: ConfMon drift
+sweeps and urgent syslog classifications feed a per-device state machine
+(healthy → suspect → remediating → verified, quarantined when automation
+gives up), and every corrective action — golden restore, regenerate and
+re-push, or drain — executes through the guarded-rollout path with full
+flight-recorder attribution back to the detection that caused it.
+"""
+
+from repro.remediation.engine import (
+    ActionRecord,
+    Detection,
+    RemediationEngine,
+    RemediationReport,
+)
+from repro.remediation.policy import (
+    ACTION_DRAIN,
+    ACTION_REGEN_REPUSH,
+    ACTION_RESTORE_GOLDEN,
+    RemediationPolicy,
+)
+from repro.remediation.state import (
+    ALLOWED_TRANSITIONS,
+    DeviceHealth,
+    DeviceTracker,
+    TransitionError,
+)
+
+__all__ = [
+    "ACTION_DRAIN",
+    "ACTION_REGEN_REPUSH",
+    "ACTION_RESTORE_GOLDEN",
+    "ALLOWED_TRANSITIONS",
+    "ActionRecord",
+    "Detection",
+    "DeviceHealth",
+    "DeviceTracker",
+    "RemediationEngine",
+    "RemediationPolicy",
+    "RemediationReport",
+    "TransitionError",
+]

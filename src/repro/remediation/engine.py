@@ -1,0 +1,479 @@
+"""The closed-loop remediation engine (paper sections 5.4.1 and 8).
+
+Detection feeds in from two monitoring channels: ConfMon drift
+notifications (``priority_sweep``/``check_all``/passive checks) and the
+syslog urgency stream (messages the classifier's rule table matches at
+CRITICAL/MAJOR).  Both channels may fire inside worker-pool tasks, so
+detections land in a locked buffer and are **sorted** — by simulated
+time, then device, then channel — before the serial policy step consumes
+them.  Everything decision-shaped (state transitions, change-id
+allocation, action execution) happens on the coordinator, which is what
+makes a remediation run byte-identical at any ``ROBOTRON_WORKERS``.
+
+Every action executes through the guarded-rollout path
+(:meth:`repro.core.robotron.Robotron.guarded_deploy`), inheriting canary
+gating and last-known-good rollback; drains go through the fixed
+:func:`repro.deploy.maintenance.drain_device`, whose compensating
+transaction keeps Desired state honest when a push fails.  Each action
+opens a flight-recorder change context with ``causes=`` the detection's
+change id, so ``flight.render_lineage`` answers "why did automation touch
+this box?" end to end.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.obs import flight
+from repro.common.errors import DeploymentError, RobotronError
+from repro.fbnet.models import Device
+from repro.fbnet.query import Expr, Op
+from repro.monitoring.confmon import ConfigDiscrepancy
+from repro.monitoring.syslog import SyslogMessage
+from repro.remediation.policy import (
+    ACTION_DRAIN,
+    ACTION_REGEN_REPUSH,
+    ACTION_RESTORE_GOLDEN,
+    RemediationPolicy,
+)
+from repro.remediation.state import DeviceHealth, DeviceTracker
+
+__all__ = [
+    "ActionRecord",
+    "Detection",
+    "RemediationEngine",
+    "RemediationReport",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Detection:
+    """One monitoring signal, normalized across channels.
+
+    Field order *is* the sort order the serial step consumes detections
+    in: simulated detection time first, then device name, then channel,
+    then detail — a total order over workload-determined values, so the
+    processing sequence is identical at any worker count.
+    """
+
+    at: float
+    device: str
+    #: Detection channel: ``"drift"`` (ConfMon) or ``"syslog"``.
+    source: str
+    detail: str
+    #: Change id active when the detection fired ("" when unattributed) —
+    #: becomes the ``causes=`` of any action it triggers.
+    cause_id: str = ""
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """One automatic action the engine executed."""
+
+    device: str
+    action: str
+    attempt: int
+    ok: bool
+    detail: str = ""
+    change_id: str = ""
+
+
+@dataclass
+class RemediationReport:
+    """Outcome of one :meth:`RemediationEngine.run` loop."""
+
+    sweeps: int
+    converged: bool
+    #: Device -> final state value for every tracked device.
+    states: dict[str, str] = field(default_factory=dict)
+    actions: list[ActionRecord] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> list[str]:
+        return sorted(
+            name
+            for name, state in self.states.items()
+            if state == DeviceHealth.QUARANTINED.value
+        )
+
+    @property
+    def verified(self) -> list[str]:
+        return sorted(
+            name
+            for name, state in self.states.items()
+            if state == DeviceHealth.VERIFIED.value
+        )
+
+
+class RemediationEngine:
+    """Consumes detections, drives the per-device state machine."""
+
+    def __init__(self, robotron, policy: RemediationPolicy | None = None):
+        self._robotron = robotron
+        self.policy = policy or RemediationPolicy()
+        self.trackers: dict[str, DeviceTracker] = {}
+        self._pending: list[Detection] = []
+        self._lock = threading.Lock()
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Detector adapters (may run inside pool tasks — buffer only)
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Subscribe to the monitoring plane's detection channels."""
+        if self._attached:
+            return
+        if self._robotron.confmon is None or self._robotron.collector is None:
+            raise RobotronError(
+                "monitoring not attached; call attach_monitoring() first"
+            )
+        self._robotron.confmon.subscribe_notifier(self._on_drift)
+        self._robotron.collector.subscribe(self._on_syslog)
+        self._attached = True
+
+    def _buffer(self, detection: Detection) -> None:
+        with self._lock:
+            self._pending.append(detection)
+
+    def _on_drift(self, discrepancy: ConfigDiscrepancy) -> None:
+        self._buffer(
+            Detection(
+                at=discrepancy.detected_at,
+                device=discrepancy.device,
+                source="drift",
+                detail=f"{len(discrepancy.diff.splitlines())} diff line(s)",
+                cause_id=flight.current_change_id(),
+            )
+        )
+
+    def _on_syslog(self, message: SyslogMessage) -> None:
+        classifier = self._robotron.classifier
+        if classifier is None:
+            return
+        rule = classifier.match(message)
+        if rule is None or rule.severity not in self.policy.drain_severities:
+            return
+        self._buffer(
+            Detection(
+                at=message.timestamp,
+                device=message.device,
+                source="syslog",
+                detail=f"{rule.severity.value} {rule.name}",
+                cause_id=flight.current_change_id(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # The serial policy step
+    # ------------------------------------------------------------------
+
+    @property
+    def _clock(self):
+        return self._robotron.scheduler.clock
+
+    def step(self, *, sweep_limit: int | None = None) -> list[ActionRecord]:
+        """One detect → act → verify pass, entirely on the coordinator.
+
+        Runs a prioritized drift sweep (pooled collection, serial
+        verdicts), drains and sorts the detection buffer, then acts on
+        every suspect device outside its cooldown window, in name order.
+        """
+        if self._robotron.confmon is not None:
+            self._robotron.confmon.priority_sweep(sweep_limit)
+        self._ingest()
+        actions: list[ActionRecord] = []
+        now = self._clock.now
+        for name in sorted(self.trackers):
+            tracker = self.trackers[name]
+            if tracker.state is not DeviceHealth.SUSPECT:
+                continue
+            if tracker.in_cooldown(now):
+                continue
+            if tracker.attempts >= self.policy.max_attempts:
+                self._quarantine(tracker, reason="attempt budget exhausted")
+                continue
+            actions.append(self._act(tracker))
+        self._export_gauges()
+        return actions
+
+    def _ingest(self) -> None:
+        with self._lock:
+            detections, self._pending = self._pending, []
+        for detection in sorted(detections):
+            tracker = self.trackers.setdefault(
+                detection.device, DeviceTracker(detection.device)
+            )
+            accepted = tracker.state in (
+                DeviceHealth.HEALTHY,
+                DeviceHealth.VERIFIED,
+            )
+            escalated = (
+                not accepted
+                and tracker.state is DeviceHealth.SUSPECT
+                and detection.source == "syslog"
+                and tracker.source != "syslog"
+            )
+            obs.counter(
+                "remediation.detect",
+                source=detection.source,
+                outcome="accepted"
+                if accepted
+                else ("escalated" if escalated else "ignored"),
+            ).inc()
+            if escalated:
+                # Urgent syslog trumps a pending drift suspicion: the
+                # next action drains rather than re-pushing config.
+                tracker.cause = detection.detail
+                tracker.cause_id = detection.cause_id
+                tracker.source = detection.source
+                flight.record(
+                    "remediation.detect",
+                    phase="monitoring",
+                    device=detection.device,
+                    verdict="syslog",
+                    detail=f"escalated: {detection.detail}",
+                    change_id=detection.cause_id or None,
+                )
+                continue
+            if not accepted:
+                # Already remediating/quarantined (or a repeat signal on
+                # a suspect): the loop owns this device; nothing to add.
+                continue
+            tracker.transition(
+                DeviceHealth.SUSPECT, now=self._clock.now,
+                reason=f"{detection.source}: {detection.detail}",
+            )
+            tracker.cause = detection.detail
+            tracker.cause_id = detection.cause_id
+            tracker.source = detection.source
+            flight.record(
+                "remediation.detect",
+                phase="monitoring",
+                device=detection.device,
+                verdict=detection.source,
+                detail=detection.detail,
+                change_id=detection.cause_id or None,
+            )
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+
+    def _pusher(self, configs):
+        """Route a remediation push through the guarded-rollout path."""
+        return self._robotron.guarded_push(
+            configs,
+            bake_seconds=self.policy.bake_seconds,
+            max_failure_ratio=self.policy.max_failure_ratio,
+            phase_name="remediation",
+        )
+
+    def _act(self, tracker: DeviceTracker) -> ActionRecord:
+        policy = self.policy
+        action = policy.select_action(
+            source=tracker.source, attempts=tracker.attempts
+        )
+        tracker.transition(
+            DeviceHealth.REMEDIATING, now=self._clock.now, reason=action
+        )
+        tracker.attempts += 1
+        if policy.triage_seconds:
+            # Detection-to-action delay on the simulated clock: the
+            # triggering alert must predate the rollout's gate window.
+            self._robotron.run(policy.triage_seconds)
+        causes = (tracker.cause_id,) if tracker.cause_id else ()
+        with flight.change_context(
+            f"auto-remediation: {action} on {tracker.name}", causes=causes
+        ) as context:
+            flight.record(
+                "remediation.action",
+                phase="intent",
+                device=tracker.name,
+                verdict=action,
+                detail=tracker.cause,
+            )
+            obs.counter("remediation.action", action=action).inc()
+            try:
+                ok, detail = self._execute(tracker.name, action)
+            except (DeploymentError, RobotronError) as exc:
+                ok, detail = False, f"{type(exc).__name__}: {exc}"
+            if ok and action != ACTION_DRAIN:
+                ok, detail = self._verify(tracker.name)
+            now = self._clock.now
+            if ok:
+                if action == ACTION_DRAIN:
+                    # A successful drain *is* the quarantine: the device
+                    # is out of traffic pending human attention.
+                    self._quarantine(
+                        tracker, reason="drained out of traffic", drain=False
+                    )
+                else:
+                    tracker.transition(
+                        DeviceHealth.VERIFIED, now=now, reason=detail or action
+                    )
+                    flight.record(
+                        "remediation.verify",
+                        phase="monitoring",
+                        device=tracker.name,
+                        verdict="ok",
+                        detail=detail,
+                    )
+                    obs.counter("remediation.verify", outcome="ok").inc()
+            else:
+                flight.record(
+                    "remediation.verify",
+                    phase="monitoring",
+                    device=tracker.name,
+                    verdict="failed",
+                    detail=detail,
+                )
+                obs.counter("remediation.verify", outcome="failed").inc()
+                if tracker.attempts >= policy.max_attempts:
+                    self._quarantine(tracker, reason=detail)
+                else:
+                    tracker.transition(
+                        DeviceHealth.SUSPECT, now=now, reason=detail
+                    )
+                    tracker.cooldown_until = now + policy.cooldown_seconds
+            return ActionRecord(
+                device=tracker.name,
+                action=action,
+                attempt=tracker.attempts,
+                ok=ok,
+                detail=detail,
+                change_id=context.change_id,
+            )
+
+    def _execute(self, name: str, action: str) -> tuple[bool, str]:
+        robotron = self._robotron
+        if action == ACTION_DRAIN:
+            from repro.deploy.maintenance import drain_device
+
+            drain_device(
+                robotron.store, robotron.fleet, robotron.generator,
+                robotron.deployer, name,
+                reason="auto-remediation: syslog urgency",
+                pusher=self._pusher,
+            )
+            return True, "drained"
+        if action == ACTION_RESTORE_GOLDEN:
+            golden = robotron.generator.golden.get(name)
+            if golden is None:
+                return False, "no golden config to restore"
+            config = golden
+        elif action == ACTION_REGEN_REPUSH:
+            device = robotron.store.first(Device, Expr("name", Op.EQUAL, name))
+            if device is None:
+                return False, "device not in FBNet"
+            config = robotron.generator.generate_device(device)
+        else:  # pragma: no cover - policy only emits the three actions
+            raise RobotronError(f"unknown remediation action {action!r}")
+        report = self._pusher({name: config})
+        if report.failed:
+            return False, f"push failed: {report.failed.get(name, report.failed)}"
+        return True, action
+
+    def _verify(self, name: str) -> tuple[bool, str]:
+        """Live-state check: reachable and running == golden."""
+        device = self._robotron.fleet.get(name)
+        if not device.reachable():
+            return False, "device unreachable after action"
+        golden = self._robotron.generator.golden.get(name)
+        if golden is None:
+            return False, "no golden config to verify against"
+        if device.running_config != golden.text:
+            return False, "running config still deviates from golden"
+        return True, "running config matches golden"
+
+    def _quarantine(
+        self, tracker: DeviceTracker, *, reason: str, drain: bool = True
+    ) -> None:
+        """Give up on automation: drain (best effort) and park the device.
+
+        The drain itself goes through the fixed, compensating
+        ``drain_device`` path, so even here a failed push cannot leave
+        Desired state lying about the fleet.
+        """
+        if drain:
+            try:
+                from repro.deploy.maintenance import drain_device
+
+                robotron = self._robotron
+                drain_device(
+                    robotron.store, robotron.fleet, robotron.generator,
+                    robotron.deployer, tracker.name,
+                    reason=f"auto-quarantine: {reason}",
+                    verify=False,
+                    pusher=self._pusher,
+                )
+            except (DeploymentError, RobotronError):
+                pass  # quarantine stands even when the drain cannot land
+        tracker.transition(
+            DeviceHealth.QUARANTINED, now=self._clock.now, reason=reason
+        )
+        obs.counter("remediation.quarantine").inc()
+        flight.record(
+            "remediation.quarantine",
+            phase="monitoring",
+            device=tracker.name,
+            verdict="quarantined",
+            detail=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+
+    def converged(self) -> bool:
+        """No buffered detections and no device mid-loop."""
+        with self._lock:
+            if self._pending:
+                return False
+        return all(tracker.settled for tracker in self.trackers.values())
+
+    def states(self) -> dict[str, str]:
+        return {
+            name: tracker.state.value
+            for name, tracker in sorted(self.trackers.items())
+        }
+
+    def _export_gauges(self) -> None:
+        counts = {state: 0 for state in DeviceHealth}
+        for tracker in self.trackers.values():
+            counts[tracker.state] += 1
+        for state, count in counts.items():
+            obs.gauge("remediation.devices", state=state.value).set(
+                count, at=self._clock.now
+            )
+
+    def run(
+        self,
+        *,
+        max_sweeps: int = 20,
+        period: float = 60.0,
+        sweep_limit: int | None = None,
+    ) -> RemediationReport:
+        """Sweep → act → advance simulated time, until converged.
+
+        ``period`` simulated seconds elapse between sweeps (periodic
+        monitoring jobs fire, cooldowns expire, bakes complete).  Stops
+        early once :meth:`converged`; ``max_sweeps`` bounds the loop when
+        a storm outruns the attempt budget.
+        """
+        actions: list[ActionRecord] = []
+        sweeps = 0
+        for sweeps in range(1, max_sweeps + 1):
+            actions.extend(self.step(sweep_limit=sweep_limit))
+            if self.converged():
+                break
+            self._robotron.run(period)
+        return RemediationReport(
+            sweeps=sweeps,
+            converged=self.converged(),
+            states=self.states(),
+            actions=actions,
+        )
+

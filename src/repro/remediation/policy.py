@@ -1,0 +1,82 @@
+"""Action selection: which automatic fix a detection earns.
+
+The paper's remediation menu (sections 5.4.1 and 8) is small and blunt on
+purpose — automation that "fixes" a device it does not understand makes
+incidents worse.  Three actions exist:
+
+* ``restore_golden`` — re-push the already-generated golden config; the
+  right first response to drift, where Desired intent is known-good and
+  only the running config wandered;
+* ``regen_repush`` — regenerate the config from FBNet Desired state and
+  push that; the escalation when the golden itself may be stale;
+* ``drain`` — take the device out of production traffic via the fixed
+  :func:`repro.deploy.maintenance.drain_device` path; the response to
+  urgent syslog (hardware trouble is not fixed by a config push) and the
+  terminal move when the attempt budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fbnet.models import EventSeverity
+
+__all__ = [
+    "ACTION_DRAIN",
+    "ACTION_REGEN_REPUSH",
+    "ACTION_RESTORE_GOLDEN",
+    "RemediationPolicy",
+]
+
+ACTION_RESTORE_GOLDEN = "restore_golden"
+ACTION_REGEN_REPUSH = "regen_repush"
+ACTION_DRAIN = "drain"
+
+
+@dataclass(frozen=True)
+class RemediationPolicy:
+    """Tunables governing the closed loop.
+
+    ``max_attempts`` bounds automatic actions per device over the
+    tracker's lifetime; ``cooldown_seconds`` parks a device after a
+    failed action so the engine cannot hammer a broken box; syslog
+    messages classified at one of ``drain_severities`` are treated as
+    urgent hardware trouble and answered by draining rather than config
+    pushes.
+    """
+
+    max_attempts: int = 3
+    cooldown_seconds: float = 300.0
+    #: Bake time for remediation rollouts (short: single-device pushes).
+    bake_seconds: float = 30.0
+    #: Simulated seconds between detection and action.  Non-zero so the
+    #: alert that *triggered* an action lands strictly before the
+    #: rollout's health-gate window — otherwise the gate would reject
+    #: every cure on the strength of its own symptom.
+    triage_seconds: float = 1.0
+    drain_severities: tuple[EventSeverity, ...] = (
+        EventSeverity.CRITICAL,
+        EventSeverity.MAJOR,
+    )
+    #: Deployment phases' failure containment for remediation pushes.
+    max_failure_ratio: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if min(self.cooldown_seconds, self.bake_seconds, self.triage_seconds) < 0:
+            raise ValueError("cooldown/bake/triage seconds must be non-negative")
+
+    def select_action(self, *, source: str, attempts: int) -> str:
+        """The action for a suspect device's next attempt.
+
+        ``source`` is the detection channel (``"syslog"`` or
+        ``"drift"``); ``attempts`` is how many actions the device has
+        already consumed.  Syslog urgency always drains; drift gets one
+        cheap golden re-push before escalating to full regeneration.
+        """
+        if source == "syslog":
+            return ACTION_DRAIN
+        if attempts == 0:
+            return ACTION_RESTORE_GOLDEN
+        return ACTION_REGEN_REPUSH

@@ -1,0 +1,112 @@
+"""Per-device remediation state machine.
+
+Closed-loop remediation is only safe when every device's position in the
+loop is explicit: a device is *suspect* (something detected), actively
+*remediating* (an automatic action in flight), *verified* (the action
+landed and live state checked out), or *quarantined* (automation gave up
+and drained it out of traffic).  The transition table below is the whole
+contract — :meth:`DeviceTracker.transition` rejects anything else, so an
+engine bug can corrupt a counter but never teleport a device from
+``healthy`` straight to ``remediating`` without a recorded detection.
+
+Oscillation is ruled out structurally rather than heuristically: attempts
+accumulate for the *lifetime* of a tracker (a re-drifting device resumes
+its count, it does not get a fresh budget), and a failed attempt parks
+the device in cooldown until a simulated-clock deadline.  Every device
+therefore performs at most ``max_attempts`` automatic actions, ever,
+before quarantine — the loop is finite by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.common.errors import RobotronError
+
+__all__ = [
+    "ALLOWED_TRANSITIONS",
+    "DeviceHealth",
+    "DeviceTracker",
+    "TransitionError",
+]
+
+
+class DeviceHealth(enum.Enum):
+    """Where a device stands in the detect → act → verify loop."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    REMEDIATING = "remediating"
+    VERIFIED = "verified"
+    QUARANTINED = "quarantined"
+
+
+#: The complete set of legal (from, to) edges.  QUARANTINED is terminal —
+#: releasing a quarantined device is a human decision, not an engine one.
+ALLOWED_TRANSITIONS: frozenset[tuple[DeviceHealth, DeviceHealth]] = frozenset(
+    {
+        (DeviceHealth.HEALTHY, DeviceHealth.SUSPECT),
+        (DeviceHealth.VERIFIED, DeviceHealth.SUSPECT),  # re-detection
+        (DeviceHealth.SUSPECT, DeviceHealth.REMEDIATING),
+        (DeviceHealth.SUSPECT, DeviceHealth.QUARANTINED),  # budget exhausted
+        (DeviceHealth.REMEDIATING, DeviceHealth.VERIFIED),
+        (DeviceHealth.REMEDIATING, DeviceHealth.SUSPECT),  # action failed
+        (DeviceHealth.REMEDIATING, DeviceHealth.QUARANTINED),
+    }
+)
+
+
+class TransitionError(RobotronError):
+    """An illegal state-machine edge was requested."""
+
+
+@dataclass
+class DeviceTracker:
+    """One device's remediation history and current position."""
+
+    name: str
+    state: DeviceHealth = DeviceHealth.HEALTHY
+    #: Automatic actions attempted over the tracker's lifetime (never
+    #: reset — the no-oscillation bound).
+    attempts: int = 0
+    #: Simulated-clock time before which no new action may start.
+    cooldown_until: float = 0.0
+    #: Human-readable cause of the current suspicion.
+    cause: str = ""
+    #: Channel the current cause arrived on ("drift" or "syslog").
+    source: str = ""
+    #: Flight-recorder change id of the detection (attribution source).
+    cause_id: str = ""
+    #: (sim_time, from, to, reason) tuples, oldest first.
+    history: list[tuple[float, str, str, str]] = field(default_factory=list)
+
+    def transition(
+        self, to: DeviceHealth, *, now: float, reason: str = ""
+    ) -> None:
+        """Move to ``to``, validating against :data:`ALLOWED_TRANSITIONS`."""
+        if (self.state, to) not in ALLOWED_TRANSITIONS:
+            raise TransitionError(
+                f"{self.name}: illegal transition "
+                f"{self.state.value} -> {to.value}"
+            )
+        obs.counter(
+            "remediation.transition",
+            from_state=self.state.value,
+            to_state=to.value,
+        ).inc()
+        self.history.append((now, self.state.value, to.value, reason))
+        self.state = to
+
+    def in_cooldown(self, now: float) -> bool:
+        return now < self.cooldown_until
+
+    @property
+    def settled(self) -> bool:
+        """True when the engine owes this device no further work."""
+        return self.state in (
+            DeviceHealth.HEALTHY,
+            DeviceHealth.VERIFIED,
+            DeviceHealth.QUARANTINED,
+        )

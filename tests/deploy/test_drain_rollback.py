@@ -1,0 +1,161 @@
+"""Regression: a failed drain push must not leave Desired state lying.
+
+Draining is intent-first — ``drain_state`` is written to FBNet *before*
+the drained config is pushed.  Before the fix, a push failure raised but
+left the store claiming DRAINED for a device still carrying production
+traffic (and the regenerated golden, with its BGP shutdowns, standing —
+so ConfMon would forever flag the healthy device as drifted).  The
+compensating transaction reverts the drain state, records a failed
+``DrainEvent``, restores the golden, and counts ``deploy.drain_rollback``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.common.errors import DeploymentError
+from repro.faults.plan import FaultPlan
+from repro.fbnet.models import Device, DrainEvent, DrainState
+from repro.fbnet.query import Expr, Op
+
+pytestmark = pytest.mark.remediation
+
+TARGET = "pop01.c01.psw1"
+
+
+def fbnet_device(robotron, name=TARGET):
+    return robotron.store.first(Device, Expr("name", Op.EQUAL, name))
+
+
+def drain_events(robotron, name=TARGET):
+    device = fbnet_device(robotron, name)
+    return [e for e in robotron.store.all(DrainEvent) if e.device.id == device.id]
+
+
+def counter_total(name):
+    return sum(
+        series.value
+        for series in obs.registry().series()
+        if series.name == name and series.kind == "counter"
+    )
+
+
+class TestDrainRollback:
+    def test_failed_drain_push_reverts_store_state(self, pop_network):
+        robotron = pop_network
+        plan = FaultPlan(seed=1337)
+        plan.inject("deploy.push", device=TARGET)  # persistent failure
+        with plan.installed():
+            with pytest.raises(DeploymentError, match="drain-state deployment"):
+                robotron.drain(TARGET)
+        device = fbnet_device(robotron)
+        # Desired never diverged from Actual: the write was compensated.
+        assert device.drain_state is DrainState.UNDRAINED
+        events = drain_events(robotron)
+        assert events[-1].succeeded is False
+        assert events[-1].state is DrainState.UNDRAINED
+        assert "push failed" in events[-1].reason
+        assert counter_total("deploy.drain_rollback") == 1
+
+    def test_failed_drain_restores_golden_config(self, pop_network):
+        robotron = pop_network
+        plan = FaultPlan(seed=1337)
+        plan.inject("deploy.push", device=TARGET)
+        with plan.installed():
+            with pytest.raises(DeploymentError):
+                robotron.drain(TARGET)
+        # The regenerated golden reflects the *restored* intent — no BGP
+        # shutdowns — so ConfMon does not chase a config that never landed.
+        golden = robotron.generator.golden[TARGET]
+        assert "shutdown" not in golden.text
+        assert not robotron.confmon.check_device(TARGET)
+
+    def test_failed_undrain_push_reverts_to_drained(self, pop_network):
+        robotron = pop_network
+        robotron.drain(TARGET)
+        plan = FaultPlan(seed=1337)
+        plan.inject("deploy.push", device=TARGET)
+        with plan.installed():
+            with pytest.raises(DeploymentError):
+                robotron.undrain(TARGET)
+        assert fbnet_device(robotron).drain_state is DrainState.DRAINED
+        assert drain_events(robotron)[-1].succeeded is False
+
+    def test_transient_failure_retried_then_succeeds(self, pop_network):
+        # One injected failure + the facade's default single attempt per
+        # push is fatal; but a failure followed by manual retry converges
+        # with a clean second drain (the rollback left no debris behind).
+        robotron = pop_network
+        plan = FaultPlan(seed=1337)
+        plan.inject("deploy.push", device=TARGET, times=1)
+        with plan.installed():
+            with pytest.raises(DeploymentError):
+                robotron.drain(TARGET)
+            result = robotron.drain(TARGET)
+        assert result.state is DrainState.DRAINED
+        assert fbnet_device(robotron).drain_state is DrainState.DRAINED
+        assert drain_events(robotron)[-1].succeeded is True
+
+    def test_rollback_recorded_in_flight_log(self, pop_network):
+        from repro.obs import flight
+
+        robotron = pop_network
+        plan = FaultPlan(seed=1337)
+        plan.inject("deploy.push", device=TARGET)
+        with plan.installed():
+            with pytest.raises(DeploymentError):
+                robotron.drain(TARGET)
+        kinds = [e.kind for e in flight.for_device(TARGET)]
+        assert "deploy.drain_rollback" in kinds
+
+
+class TestDrainVerifyFailure:
+    def _pin_sessions_up(self, robotron, monkeypatch):
+        """Deploy lands but sessions refuse to go down (far-end hang)."""
+        emulated = robotron.fleet.get(TARGET)
+        real = emulated.bgp_summary
+
+        def stuck():
+            return [dict(entry, state="established") for entry in real()]
+
+        monkeypatch.setattr(emulated, "bgp_summary", stuck)
+
+    def test_half_drained_device_recorded(self, pop_network, monkeypatch):
+        robotron = pop_network
+        self._pin_sessions_up(robotron, monkeypatch)
+        with pytest.raises(DeploymentError, match="still established"):
+            robotron.drain(TARGET)
+        # The config landed, so Desired stands — but the failure is a
+        # store record and a flight event, not just a raised exception.
+        assert fbnet_device(robotron).drain_state is DrainState.DRAINED
+        events = drain_events(robotron)
+        assert events[-1].succeeded is False
+        assert "verification failed" in events[-1].reason
+        assert counter_total("deploy.drain_verify_fail") == 1
+
+    def test_verify_failure_surfaced_in_flight_log(
+        self, pop_network, monkeypatch
+    ):
+        from repro.obs import flight
+
+        robotron = pop_network
+        self._pin_sessions_up(robotron, monkeypatch)
+        with pytest.raises(DeploymentError):
+            robotron.drain(TARGET)
+        verdicts = [
+            (e.kind, e.verdict) for e in flight.for_device(TARGET)
+        ]
+        assert ("deploy.drain", "verify-failed") in verdicts
+
+    def test_no_verify_skips_session_check(self, pop_network, monkeypatch):
+        robotron = pop_network
+        self._pin_sessions_up(robotron, monkeypatch)
+        from repro.deploy.maintenance import drain_device
+
+        result = drain_device(
+            robotron.store, robotron.fleet, robotron.generator,
+            robotron.deployer, TARGET, verify=False,
+        )
+        assert result.state is DrainState.DRAINED
+        assert counter_total("deploy.drain_verify_fail") == 0

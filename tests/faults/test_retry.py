@@ -96,8 +96,17 @@ class TestRetryPolicy:
             RetryPolicy(max_attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match=r"jitter must be in \[0, 1\]"):
+            RetryPolicy(jitter=1.5)
         with pytest.raises(ValueError):
-            RetryPolicy(jitter=1.0)
+            RetryPolicy(jitter=-0.1)
+
+    def test_full_band_jitter_never_goes_negative(self):
+        # jitter=1.0 is the widest legal band [0, 2*delay]; every delay
+        # in the schedule must stay non-negative on the simulated clock.
+        policy = RetryPolicy(max_attempts=8, base_delay=1.0, multiplier=1.0, jitter=1.0)
+        delays = list(policy.delays())
+        assert all(0.0 <= d <= 2.0 for d in delays)
 
 
 class TestCircuitBreaker:

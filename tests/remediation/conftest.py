@@ -1,0 +1,45 @@
+"""Remediation-suite fixtures.
+
+The chaos seed comes from the environment so CI's chaos matrix can run
+the whole suite under several fixed seeds (and several worker counts)
+and every failure reproduces byte-for-byte:
+``CHAOS_SEED=20160816 ROBOTRON_WORKERS=4 pytest -m remediation``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fbnet.models import ClusterGeneration
+
+
+@pytest.fixture
+def chaos_seed() -> int:
+    return int(os.environ.get("CHAOS_SEED", "1337"))
+
+
+def manual_change(device) -> str:
+    """An engineer edits a device out of band (valid, vendor-aware)."""
+    if device.vendor == "vendor1":
+        hacked = device.running_config + "interface et9/9\n no shutdown\n!\n"
+    else:
+        hacked = device.running_config + "interfaces {\n    et9/9 {\n    }\n}\n"
+    device.commit(hacked)
+    return hacked
+
+
+@pytest.fixture
+def dc_network(robotron):
+    """A provisioned, monitored 20-device DC cluster (4 DR + 4 PSW + 12 TOR)."""
+    env = robotron.env
+    cluster = robotron.build_cluster(
+        "dc01.c01", env.datacenters["dc01"], ClusterGeneration.DC_GEN2
+    )
+    robotron.boot_fleet()
+    report = robotron.provision_cluster(cluster)
+    assert report.ok, report.failed
+    robotron.attach_monitoring()
+    robotron.cluster = cluster  # type: ignore[attr-defined]
+    return robotron

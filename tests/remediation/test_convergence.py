@@ -1,0 +1,157 @@
+"""Seeded fault storms converge — bit-for-bit identically at any pool size.
+
+The acceptance storm: config drift on all 20 devices of a DC_GEN2
+cluster, an urgent-syslog burst, flapping reachability (crash + timed
+reboot), and seeded push failures — the remediation loop must walk every
+device to ``verified`` or ``quarantined`` (never parked mid-transition,
+never a mixed-config device), with every automatic action attributed in
+the flight recorder, and the whole run reproducing byte-for-byte under
+any ``ROBOTRON_WORKERS``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import Robotron, faults, obs, parallel, seed_environment
+from repro.faults.plan import FaultPlan
+from repro.fbnet.models import ClusterGeneration, DeploymentRecord
+from repro.obs import flight
+from repro.remediation import RemediationPolicy
+
+from tests.remediation.conftest import manual_change
+
+pytestmark = [pytest.mark.remediation, pytest.mark.parallel]
+
+MAX_SWEEPS = 30
+BURST = 5      # devices hit by the urgent-syslog burst
+FLAPPERS = 2   # devices that crash and reboot mid-storm
+
+
+def run_storm(seed: int):
+    """One full storm from a clean process-global state.
+
+    Returns (robotron, report, dump) where ``dump`` is the canonical
+    JSON of the flight recorder's deterministic fields.
+    """
+    obs.reset()
+    faults.uninstall()
+    rng = random.Random(seed)
+    robotron = Robotron()
+    env = seed_environment(robotron.store)
+    cluster = robotron.build_cluster(
+        "dc01.c01", env.datacenters["dc01"], ClusterGeneration.DC_GEN2
+    )
+    robotron.boot_fleet()
+    provisioned = robotron.provision_cluster(cluster)
+    assert provisioned.ok, provisioned.failed
+    robotron.attach_monitoring()
+    robotron.attach_remediation(
+        RemediationPolicy(bake_seconds=0.0, cooldown_seconds=120.0)
+    )
+    names = sorted(robotron.fleet.devices)
+    assert len(names) >= 20
+
+    # The storm: every device drifts; a seeded subset screams; a seeded
+    # subset crashes (rebooting, loudly, three simulated minutes in);
+    # and every tenth push — decided per task key — fails.
+    for name in names:
+        manual_change(robotron.fleet.get(name))
+    for name in sorted(rng.sample(names, BURST)):
+        robotron.fleet.get(name).emit_syslog(
+            "HW", "Critical Power lost on PSU 1"
+        )
+    for name in sorted(rng.sample(names, FLAPPERS)):
+        device = robotron.fleet.get(name)
+        device.crash()
+        robotron.scheduler.call_at(
+            robotron.scheduler.clock.now + 180.0, device.boot,
+            name=f"reboot-{name}",
+        )
+    plan = FaultPlan(seed=seed)
+    plan.inject("deploy.push", probability=0.1, times=10)
+    robotron.install_fault_plan(plan)
+
+    report = robotron.remediation_loop(max_sweeps=MAX_SWEEPS, period=60.0)
+    # Captured before the per-test obs reset wipes the ring: the events
+    # and canonical dump outlive the run for module-scoped assertions.
+    events = flight.timeline()
+    dump = json.dumps(flight.deterministic_dump(), sort_keys=True)
+    faults.uninstall()
+    return robotron, report, dump, events
+
+
+@pytest.fixture(scope="module")
+def storm_1337():
+    """The default-seed storm, shared read-only across this module."""
+    return run_storm(1337)
+
+
+class TestStormConvergence:
+    def test_converges_within_budget(self, chaos_seed):
+        _, report, _, _ = run_storm(chaos_seed)
+        assert report.converged, report.states
+        assert report.sweeps <= MAX_SWEEPS
+
+    def test_every_device_verified_or_quarantined(self, storm_1337):
+        _, report, _, _ = storm_1337
+        assert len(report.states) >= 20
+        assert set(report.states.values()) <= {"verified", "quarantined"}
+        assert report.verified or report.quarantined
+
+    def test_no_mixed_config_device(self, storm_1337):
+        robotron, report, _, _ = storm_1337
+        # Guarded rollouts persisted their landing state: every touched
+        # device ended fully-new or fully-LKG, never in between.
+        for record in robotron.store.all(DeploymentRecord):
+            for name, versions in record.device_versions.items():
+                assert versions["state"] != "mixed", (record, name)
+        # And verified devices genuinely run their golden config.
+        for name in report.verified:
+            device = robotron.fleet.get(name)
+            golden = robotron.generator.golden[name]
+            assert device.running_config == golden.text, name
+
+    def test_every_action_attributed(self, storm_1337):
+        _, report, _, events = storm_1337
+        assert report.actions
+        action_events = [e for e in events if e.kind == "remediation.action"]
+        assert len(action_events) == len(report.actions)
+        for event in action_events:
+            assert event.change_id, event
+            lineage_kinds = {
+                e.kind for e in events if e.change_id == event.change_id
+            }
+            assert "change.open" in lineage_kinds
+            detects = [
+                e
+                for e in events
+                if e.kind == "remediation.detect"
+                and e.device == event.device
+                and e.seq < event.seq
+            ]
+            assert detects, f"unattributed action on {event.device}"
+
+
+class TestWorkerCountDeterminism:
+    def storm_at(self, worker_count: int, seed: int):
+        with parallel.workers(worker_count):
+            _, report, dump, _ = run_storm(seed)
+        return report, dump
+
+    def test_serial_and_pool_of_four_identical(self, chaos_seed):
+        serial_report, serial_dump = self.storm_at(1, chaos_seed)
+        pooled_report, pooled_dump = self.storm_at(4, chaos_seed)
+        assert pooled_report.states == serial_report.states
+        assert pooled_report.actions == serial_report.actions
+        assert pooled_dump == serial_dump
+
+    def test_rerun_reproduces_itself(self, chaos_seed):
+        # Whatever ROBOTRON_WORKERS the environment picked (the CI chaos
+        # matrix sets 1 and 4), the storm reproduces bit-for-bit.
+        first = run_storm(chaos_seed)[2]
+        second = run_storm(chaos_seed)[2]
+        assert first == second

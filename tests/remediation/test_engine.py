@@ -1,0 +1,187 @@
+"""The closed loop on a live POP cluster: detect → act → verify."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.faults.plan import FaultPlan
+from repro.fbnet.models import Device, DrainState
+from repro.fbnet.query import Expr, Op
+from repro.obs import flight
+from repro.remediation import DeviceHealth, RemediationPolicy
+
+from tests.remediation.conftest import manual_change
+
+pytestmark = pytest.mark.remediation
+
+TARGET = "pop01.c01.psw1"
+
+
+def fast_policy(**overrides):
+    defaults = dict(bake_seconds=0.0, cooldown_seconds=60.0)
+    defaults.update(overrides)
+    return RemediationPolicy(**defaults)
+
+
+@pytest.fixture
+def looped(pop_network):
+    pop_network.attach_remediation(fast_policy())
+    return pop_network
+
+
+class TestDriftLoop:
+    def test_drift_restored_and_verified(self, looped):
+        device = looped.fleet.get(TARGET)
+        manual_change(device)
+        report = looped.remediation_loop(max_sweeps=5)
+        assert report.converged
+        assert report.states[TARGET] == "verified"
+        assert [a.action for a in report.actions] == ["restore_golden"]
+        assert device.running_config == looped.generator.golden[TARGET].text
+
+    def test_clean_fleet_converges_immediately(self, looped):
+        report = looped.remediation_loop(max_sweeps=5)
+        assert report.converged
+        assert report.sweeps == 1
+        assert report.actions == []
+
+    def test_repeat_detections_deduplicated(self, looped):
+        engine = looped.remediation
+        device = looped.fleet.get(TARGET)
+        manual_change(device)
+        # Passive check already fired; two more explicit checks pile on.
+        looped.confmon.check_device(TARGET)
+        looped.confmon.check_device(TARGET)
+        engine._ingest()
+        tracker = engine.trackers[TARGET]
+        assert tracker.state is DeviceHealth.SUSPECT
+        # One accepted transition; the rest counted as ignored.
+        ignored = sum(
+            s.value
+            for s in obs.registry().series()
+            if s.name == "remediation.detect"
+            and s.labels.get("outcome") == "ignored"
+        )
+        assert ignored >= 2
+
+
+class TestSyslogLoop:
+    def test_urgent_syslog_drains_and_quarantines(self, looped):
+        looped.fleet.get(TARGET).emit_syslog("HW", "Critical Power lost on PSU 1")
+        report = looped.remediation_loop(max_sweeps=5)
+        assert report.converged
+        assert report.states[TARGET] == "quarantined"
+        assert [a.action for a in report.actions] == ["drain"]
+        model = looped.store.first(Device, Expr("name", Op.EQUAL, TARGET))
+        assert model.drain_state is DrainState.DRAINED
+
+    def test_ignored_severity_stays_healthy(self, looped):
+        looped.fleet.get(TARGET).emit_syslog("SYS", "Cannot find NTP server")
+        report = looped.remediation_loop(max_sweeps=3)
+        assert report.converged
+        assert report.actions == []
+        assert TARGET not in report.states
+
+    def test_syslog_escalates_pending_drift(self, looped):
+        device = looped.fleet.get(TARGET)
+        manual_change(device)
+        device.emit_syslog("HW", "Critical Power lost on PSU 1")
+        report = looped.remediation_loop(max_sweeps=5)
+        # The urgent signal wins: drain, not a config re-push.
+        assert report.states[TARGET] == "quarantined"
+        assert [a.action for a in report.actions] == ["drain"]
+
+
+class TestBoundedRetry:
+    def test_persistent_failure_quarantines_after_budget(self, looped):
+        engine = looped.remediation
+        plan = FaultPlan(seed=1337)
+        plan.inject("deploy.push", device=TARGET)  # every push fails
+        manual_change(looped.fleet.get(TARGET))
+        with plan.installed():
+            report = looped.remediation_loop(max_sweeps=20)
+        assert report.converged
+        tracker = engine.trackers[TARGET]
+        assert tracker.state is DeviceHealth.QUARANTINED
+        assert tracker.attempts == engine.policy.max_attempts
+        assert [a.action for a in report.actions] == [
+            "restore_golden", "regen_repush", "regen_repush",
+        ]
+        assert not any(a.ok for a in report.actions)
+
+    def test_no_oscillation_after_quarantine(self, looped):
+        engine = looped.remediation
+        plan = FaultPlan(seed=1337)
+        plan.inject("deploy.push", device=TARGET)
+        manual_change(looped.fleet.get(TARGET))
+        with plan.installed():
+            looped.remediation_loop(max_sweeps=20)
+            # The device is still drifted and still failing — but the
+            # engine owes it nothing further: no action ever again.
+            more = engine.step()
+        assert more == []
+        assert engine.trackers[TARGET].state is DeviceHealth.QUARANTINED
+
+    def test_cooldown_spaces_attempts(self, looped):
+        engine = looped.remediation
+        # A transient outage: pushes fail for the next 30 simulated
+        # seconds, then the fleet heals (guarded pushes run in pool
+        # tasks, so the window — not a per-scope ``times`` budget — is
+        # what makes the fault transient).
+        now = looped.scheduler.clock.now
+        plan = FaultPlan(seed=1337)
+        plan.inject("deploy.push", device=TARGET, stop=now + 30.0)
+        looped.install_fault_plan(plan)
+        manual_change(looped.fleet.get(TARGET))
+        first = engine.step()
+        assert [a.ok for a in first] == [False]
+        # Immediately after the failure the device is cooling down.
+        assert engine.step() == []
+        looped.run(engine.policy.cooldown_seconds + 1)
+        second = engine.step()
+        assert [a.ok for a in second] == [True]
+        assert engine.trackers[TARGET].state is DeviceHealth.VERIFIED
+
+
+class TestAttribution:
+    def test_action_causes_point_at_detection_change(self, looped):
+        with flight.change_context("operator incident response") as context:
+            looped.fleet.get(TARGET).emit_syslog(
+                "HW", "Critical Power lost on PSU 1"
+            )
+        report = looped.remediation_loop(max_sweeps=5)
+        action = report.actions[0]
+        assert action.change_id and action.change_id != context.change_id
+        opened = [
+            e
+            for e in flight.for_change(action.change_id)
+            if e.kind == "change.open"
+        ]
+        assert len(opened) == 1
+        assert f"causes: {context.change_id}" in opened[0].detail
+
+    def test_every_action_has_a_change_and_a_detection(self, looped):
+        manual_change(looped.fleet.get(TARGET))
+        report = looped.remediation_loop(max_sweeps=5)
+        for action in report.actions:
+            assert action.change_id
+            lineage = flight.for_change(action.change_id)
+            kinds = {e.kind for e in lineage}
+            assert "remediation.action" in kinds
+            detects = [
+                e
+                for e in flight.for_device(action.device)
+                if e.kind == "remediation.detect"
+            ]
+            assert detects, "action without a recorded detection"
+
+    def test_guarded_rollout_events_join_action_change(self, looped):
+        manual_change(looped.fleet.get(TARGET))
+        report = looped.remediation_loop(max_sweeps=5)
+        lineage = flight.for_change(report.actions[0].change_id)
+        kinds = {e.kind for e in lineage}
+        # The action's single change id spans intent, deployment, and
+        # the monitoring verdict — the full pipeline, per the paper.
+        assert {"remediation.action", "deploy.rollout", "deploy.gate",
+                "remediation.verify"} <= kinds

@@ -1,0 +1,127 @@
+"""The per-device state machine: legal edges, bounded retries, cooldown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.fbnet.models import EventSeverity
+from repro.remediation import (
+    ACTION_DRAIN,
+    ACTION_REGEN_REPUSH,
+    ACTION_RESTORE_GOLDEN,
+    ALLOWED_TRANSITIONS,
+    DeviceHealth,
+    DeviceTracker,
+    RemediationPolicy,
+    TransitionError,
+)
+
+pytestmark = pytest.mark.remediation
+
+
+class TestTransitions:
+    def test_detect_act_verify_walk(self):
+        tracker = DeviceTracker("psw1")
+        tracker.transition(DeviceHealth.SUSPECT, now=1.0, reason="drift")
+        tracker.transition(DeviceHealth.REMEDIATING, now=2.0)
+        tracker.transition(DeviceHealth.VERIFIED, now=3.0)
+        assert tracker.state is DeviceHealth.VERIFIED
+        assert [h[1:3] for h in tracker.history] == [
+            ("healthy", "suspect"),
+            ("suspect", "remediating"),
+            ("remediating", "verified"),
+        ]
+
+    def test_redetection_after_verified(self):
+        tracker = DeviceTracker("psw1", state=DeviceHealth.VERIFIED)
+        tracker.transition(DeviceHealth.SUSPECT, now=1.0)
+        assert tracker.state is DeviceHealth.SUSPECT
+
+    def test_illegal_edges_rejected(self):
+        tracker = DeviceTracker("psw1")
+        with pytest.raises(TransitionError, match="illegal transition"):
+            tracker.transition(DeviceHealth.REMEDIATING, now=0.0)
+        with pytest.raises(TransitionError):
+            tracker.transition(DeviceHealth.VERIFIED, now=0.0)
+        # the failed transition left state untouched
+        assert tracker.state is DeviceHealth.HEALTHY
+
+    def test_quarantine_is_terminal(self):
+        tracker = DeviceTracker("psw1", state=DeviceHealth.QUARANTINED)
+        for target in DeviceHealth:
+            if target is DeviceHealth.QUARANTINED:
+                continue
+            with pytest.raises(TransitionError):
+                tracker.transition(target, now=0.0)
+
+    def test_table_has_no_healthy_to_remediating_shortcut(self):
+        # Every path into REMEDIATING goes through SUSPECT — an action
+        # without a recorded detection is structurally impossible.
+        sources = {a for a, b in ALLOWED_TRANSITIONS if b is DeviceHealth.REMEDIATING}
+        assert sources == {DeviceHealth.SUSPECT}
+
+    def test_transitions_counted(self):
+        tracker = DeviceTracker("psw1")
+        tracker.transition(DeviceHealth.SUSPECT, now=1.0)
+        series = [
+            s
+            for s in obs.registry().series()
+            if s.name == "remediation.transition"
+        ]
+        assert sum(s.value for s in series) == 1
+        assert series[0].labels == {
+            "from_state": "healthy", "to_state": "suspect",
+        }
+
+    def test_cooldown_window(self):
+        tracker = DeviceTracker("psw1", cooldown_until=100.0)
+        assert tracker.in_cooldown(99.9)
+        assert not tracker.in_cooldown(100.0)
+
+    def test_settled_states(self):
+        settled = {
+            state
+            for state in DeviceHealth
+            if DeviceTracker("x", state=state).settled
+        }
+        assert settled == {
+            DeviceHealth.HEALTHY,
+            DeviceHealth.VERIFIED,
+            DeviceHealth.QUARANTINED,
+        }
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RemediationPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RemediationPolicy(cooldown_seconds=-1.0)
+
+    def test_syslog_always_drains(self):
+        policy = RemediationPolicy()
+        for attempts in range(3):
+            assert (
+                policy.select_action(source="syslog", attempts=attempts)
+                == ACTION_DRAIN
+            )
+
+    def test_drift_escalates_from_restore_to_regen(self):
+        policy = RemediationPolicy()
+        assert (
+            policy.select_action(source="drift", attempts=0)
+            == ACTION_RESTORE_GOLDEN
+        )
+        assert (
+            policy.select_action(source="drift", attempts=1)
+            == ACTION_REGEN_REPUSH
+        )
+
+    def test_default_drain_severities(self):
+        policy = RemediationPolicy()
+        assert policy.drain_severities == (
+            EventSeverity.CRITICAL,
+            EventSeverity.MAJOR,
+        )
+        assert EventSeverity.WARNING not in policy.drain_severities
