@@ -47,6 +47,11 @@ class ReplicationError(FBNetError):
     """Replication-layer failure (no live master, all replicas down, ...)."""
 
 
+class DurabilityError(FBNetError):
+    """The write-ahead log or a snapshot is unusable (corruption, coverage
+    gap, attaching to a root that already holds another store's history)."""
+
+
 class RpcError(FBNetError):
     """The service layer could not complete an RPC (all replicas failed)."""
 
@@ -103,3 +108,16 @@ class MonitoringError(RobotronError):
 
 class FaultInjectedError(RobotronError):
     """A failure injected by the active :mod:`repro.faults` plan."""
+
+
+class ProcessCrash(BaseException):
+    """Simulated process death at a durability crash point.
+
+    Raised by the WAL fault points (``wal.append_torn``,
+    ``wal.append_crash``, ``wal.rotate_crash``).  Deliberately rooted at
+    :class:`BaseException` — like ``SystemExit`` — so no subsystem's
+    error handling (retry policies, remediation compensation, rollback
+    paths) can "handle" the process dying.  Harnesses catch it at the
+    top level and rebuild the store with
+    :func:`repro.fbnet.durability.recover_store`.
+    """

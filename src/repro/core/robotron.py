@@ -114,6 +114,46 @@ class Robotron:
         self.notifications: list[str] = []
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def attach_durability(
+        self, root, *, snapshot_every: int | None = None, fsync: bool = False
+    ):
+        """Journal this deployment's FBNet commits to a WAL under ``root``."""
+        return self.store.attach_durability(
+            root, snapshot_every=snapshot_every, fsync=fsync
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        root,
+        scheduler: EventScheduler | None = None,
+        *,
+        configerator: Configerator | None = None,
+        retry_policy: RetryPolicy | None = None,
+        snapshot_every: int | None = None,
+        fsync: bool = False,
+    ) -> Robotron:
+        """Rebuild a Robotron whose process died, from its durability root.
+
+        The FBNet store comes back crash-consistent (last durable commit);
+        volatile state — the emulated fleet, monitoring, remediation — is
+        re-derived from it the same way a fresh deployment would:
+        ``boot_fleet()``, ``attach_monitoring()``, ``attach_remediation()``.
+        """
+        store = ObjectStore.recover(
+            root, snapshot_every=snapshot_every, fsync=fsync
+        )
+        return cls(
+            store,
+            scheduler,
+            configerator=configerator,
+            retry_policy=retry_policy,
+        )
+
+    # ------------------------------------------------------------------
     # Stage 1: network design
     # ------------------------------------------------------------------
 

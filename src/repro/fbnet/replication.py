@@ -48,8 +48,9 @@ class RegionState:
     lag: float = 0.5
     #: Commit timestamps of shipped-but-unapplied batches (lag measurement).
     in_flight: list[float] = dc_field(default_factory=list)
-    #: Batches that arrived while the database was disabled.
-    backlog: list[list[ChangeRecord]] = dc_field(default_factory=list)
+    #: ``(base journal position, records)`` batches that arrived while the
+    #: database was disabled.
+    backlog: list[tuple[int, list[ChangeRecord]]] = dc_field(default_factory=list)
     read_replicas: list[ServiceReplica] = dc_field(default_factory=list)
     write_replicas: list[ServiceReplica] = dc_field(default_factory=list)
 
@@ -120,9 +121,19 @@ class ReplicatedFBNet:
         return self.regions[self.master_region]
 
     def _install_shipping(self, master_store: ObjectStore) -> None:
+        # Each shipped batch carries the master journal position of its
+        # first record, so receivers can skip already-applied records (a
+        # batch redelivered after a resync) and detect gaps.  Listener
+        # delivery is in order — including fault-deferred backlog flushes —
+        # so a monotonic counter from the install-time position is exact.
+        shipped_position = master_store.journal_position
+
         def ship(records: list[ChangeRecord]) -> None:
+            nonlocal shipped_position
             if not records:
                 return
+            base = shipped_position
+            shipped_position += len(records)
             committed_at = self.scheduler.clock.now
             for region in self.regions.values():
                 if region.store is master_store:
@@ -131,7 +142,9 @@ class ReplicatedFBNet:
                 batch = list(records)
                 self.scheduler.call_at(
                     committed_at + region.lag,
-                    lambda r=region, b=batch, t=committed_at: self._arrive(r, b, t),
+                    lambda r=region, b=batch, t=committed_at, p=base: self._arrive(
+                        r, b, t, base=p
+                    ),
                     name=f"replicate->{region.name}",
                 )
 
@@ -143,6 +156,7 @@ class ReplicatedFBNet:
         records: list[ChangeRecord],
         committed_at: float,
         attempt: int = 0,
+        base: int = 0,
     ) -> None:
         if region.name == self.master_region:
             if committed_at in region.in_flight:
@@ -157,7 +171,7 @@ class ReplicatedFBNet:
             delay = max(self.retry_policy.backoff(attempt), region.lag)
             self.scheduler.call_after(
                 delay,
-                lambda: self._arrive(region, records, committed_at, attempt + 1),
+                lambda: self._arrive(region, records, committed_at, attempt + 1, base),
                 name=f"replicate-retry->{region.name}",
             )
             return
@@ -168,13 +182,47 @@ class ReplicatedFBNet:
             self.scheduler.clock.now - committed_at, at=self.scheduler.clock.now
         )
         if not region.db_healthy:
-            region.backlog.append(records)
+            region.backlog.append((base, records))
             return
-        self._apply_batch(region, records)
+        self._deliver(region, records, base)
+
+    def _deliver(
+        self,
+        region: RegionState,
+        records: list[ChangeRecord],
+        base: int,
+        redeliveries: int = 0,
+    ) -> None:
+        """Apply an in-order batch, deferring out-of-order arrivals.
+
+        ``base`` ahead of the replica's applied position means an earlier
+        batch is still in flight (retry backoff can reorder deliveries) —
+        redeliver after a lag's wait; if the gap never closes, fall back
+        to a resync, which covers this batch too.
+        """
+        if region.name == self.master_region:
+            return  # promoted while a redelivery was pending
+        applied = region.applied_position()
+        if base > applied:
+            if redeliveries >= 8:
+                obs.counter("replication.gap_resync", region=region.name).inc()
+                self._resync(region)
+                return
+            self.scheduler.call_after(
+                max(region.lag, 0.1),
+                lambda: self._deliver(region, records, base, redeliveries + 1),
+                name=f"replicate-reorder->{region.name}",
+            )
+            return
+        self._apply_batch(region, records, base)
 
     @staticmethod
-    def _apply_batch(region: RegionState, records: list[ChangeRecord]) -> None:
-        for record in records:
+    def _apply_batch(
+        region: RegionState, records: list[ChangeRecord], base: int
+    ) -> None:
+        for offset, record in enumerate(records):
+            if base + offset < region.applied_position():
+                continue  # already applied (redelivery after a resync)
             region.store.apply_record(record)
 
     # ------------------------------------------------------------------
@@ -236,12 +284,34 @@ class ReplicatedFBNet:
             replica.retarget(region.store)
 
     def _resync(self, region: RegionState) -> None:
-        """Rebuild a region's store from the master's full journal."""
-        obs.counter("store.replication.resync", region=region.name).inc()
-        fresh = ObjectStore(name=f"fbnet-{region.name}")
-        for record in self.master.store.journal:
-            fresh.apply_record(record)
-        region.store = fresh
+        """Bring a region's store in line with the master's journal.
+
+        When the replica's journal is a prefix of the master's — the
+        normal case: replication only ever lags, it does not diverge —
+        the resync is *incremental*: just the tail past the replica's
+        ``applied_position()`` is applied.  Any divergence (a record that
+        differs, or a replica ahead of the master, as after a lossy
+        failover) falls back to a full rebuild from scratch.
+        """
+        master_journal = self.master.store.journal
+        position = region.applied_position()
+        if (
+            position <= len(master_journal)
+            and region.store.journal == master_journal[:position]
+        ):
+            mode = "incremental"
+            for record in master_journal[position:]:
+                region.store.apply_record(record)
+        else:
+            mode = "full"
+            fresh = ObjectStore(name=f"fbnet-{region.name}")
+            for record in master_journal:
+                fresh.apply_record(record)
+            region.store.detach_durability()
+            region.store = fresh
+        obs.counter(
+            "store.replication.resync", region=region.name, mode=mode
+        ).inc()
         region.backlog.clear()
         region.in_flight.clear()
 
@@ -278,9 +348,12 @@ class ReplicatedFBNet:
             break
         if new_master is None:
             raise ReplicationError("no healthy replica available for promotion")
-        # Apply anything that already arrived but was backlogged.
-        for batch in new_master.backlog:
-            self._apply_batch(new_master, batch)
+        # Apply anything that already arrived but was backlogged, oldest
+        # (lowest base position) first, skipping already-applied records.
+        for batch_base, batch in sorted(new_master.backlog, key=lambda item: item[0]):
+            if batch_base > new_master.applied_position():
+                break  # a gap: the missing batch died with the old master
+            self._apply_batch(new_master, batch, batch_base)
         new_master.backlog.clear()
         self.master_region = new_master.name
         self.promotions.append(
@@ -322,6 +395,53 @@ class ReplicatedFBNet:
 
     def _distance(self, a: str, b: str) -> int:
         return abs(self.region_order.index(a) - self.region_order.index(b))
+
+    # ------------------------------------------------------------------
+    # Durability (crash-consistent master recovery)
+    # ------------------------------------------------------------------
+
+    def attach_master_durability(
+        self, root: Any, *, snapshot_every: int | None = None, fsync: bool = False
+    ):
+        """Journal the master store's commits to a WAL under ``root``."""
+        return self.master.store.attach_durability(
+            root, snapshot_every=snapshot_every, fsync=fsync
+        )
+
+    def recover_master(
+        self, root: Any, *, snapshot_every: int | None = None, fsync: bool = False
+    ) -> ObjectStore:
+        """Replace a crashed master's store with one recovered from disk.
+
+        The recovered store takes over the master region: shipping is
+        reinstalled, the region's service replicas retarget it, and every
+        healthy replica resyncs against the recovered journal.  Because
+        shipping happens *after* the WAL append, a replica's journal is
+        always a prefix of what recovery restores — the resyncs run in
+        incremental mode.
+        """
+        master = self.master
+        master.store.detach_durability()
+        recovered = ObjectStore.recover(
+            root,
+            name=f"fbnet-{self.master_region}",
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+        )
+        master.store = recovered
+        master.db_healthy = True
+        master.in_flight.clear()
+        master.backlog.clear()
+        self._install_shipping(recovered)
+        for replica in master.read_replicas + master.write_replicas:
+            replica.retarget(recovered)
+        for region in self.regions.values():
+            if region.name == self.master_region or not region.db_healthy:
+                continue
+            self._resync(region)
+            for replica in region.read_replicas:
+                replica.retarget(region.store)
+        return recovered
 
     # ------------------------------------------------------------------
     # Client access

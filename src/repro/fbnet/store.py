@@ -14,7 +14,6 @@ provides an in-process relational store with the same observable semantics:
 
 from __future__ import annotations
 
-import itertools
 import threading
 from collections.abc import Callable, Iterator
 from contextlib import contextmanager
@@ -101,8 +100,15 @@ class ObjectStore:
         self._unique_index: dict[tuple[str, str], dict[Any, int]] = {}
         self._unique_together_index: dict[tuple[str, tuple[str, ...]], dict[tuple, int]] = {}
         self._next_id = 1
-        self._txn_counter = itertools.count(1)
+        # Plain int (not itertools.count) so snapshots can persist it and
+        # recovery can restore it.
+        self._next_txn_id = 1
         self._journal: list[ChangeRecord] = []
+        # Durability sidecar (see repro.fbnet.durability); None = volatile.
+        self._durability = None
+        # True while recover_store() replays history into this store, so
+        # apply_record does not re-journal replayed records to disk.
+        self._recovering = False
         self._commit_listeners: list[Callable[[list[ChangeRecord]], None]] = []
         # Committed batches whose listener delivery was deferred by an
         # injected ``store.commit_listener`` fault; flushed (in order) on
@@ -205,7 +211,8 @@ class ObjectStore:
         needed by any Robotron workflow).  Yields the transaction id.
         """
         if self._txn_depth == 0:
-            self._current_txn_id = next(self._txn_counter)
+            self._current_txn_id = self._next_txn_id
+            self._next_txn_id += 1
             self._undo_log = []
             self._pending_records = []
             self._txn_started_at = perf_counter() if obs.enabled() else None
@@ -229,6 +236,11 @@ class ObjectStore:
         self._pending_records = []
         self._undo_log = []
         self._current_txn_id = None
+        if self._durability is not None and records:
+            # Write-ahead: the transaction is durable before it becomes
+            # visible in memory.  A crash raised here (ProcessCrash) leaves
+            # in-memory state behind the WAL — recovery replays the frame.
+            self._durability.log_commit(records)
         self._journal.extend(records)
         for record in records:
             if record.change_id:
@@ -835,6 +847,9 @@ class ObjectStore:
         elif record.op is ChangeOp.UPDATE:
             obj = table.get(record.obj_id)
             if obj is None:
+                obs.counter(
+                    "store.replication.divergence", store=self.name, op="update"
+                ).inc()
                 raise TransactionError(
                     f"replication update for missing {record.model} id={record.obj_id}"
                 )
@@ -843,11 +858,85 @@ class ObjectStore:
             self._index(obj)
         else:  # DELETE
             obj = table.pop(record.obj_id, None)
-            if obj is not None:
-                self._unindex(obj)
-                obj.id = None
-                obj._store = None
+            if obj is None:
+                # A delete for a row we never had means this store diverged
+                # from the journal's source — surface it like UPDATE does
+                # instead of masking the drift.
+                obs.counter(
+                    "store.replication.divergence", store=self.name, op="delete"
+                ).inc()
+                raise TransactionError(
+                    f"replication delete for missing {record.model} id={record.obj_id}"
+                )
+            self._unindex(obj)
+            obj.id = None
+            obj._store = None
+        if self._durability is not None and not self._recovering:
+            self._durability.log_applied(record)
         self._journal.append(record)
+
+    # ------------------------------------------------------------------
+    # Durability (see repro.fbnet.durability)
+    # ------------------------------------------------------------------
+
+    def attach_durability(
+        self,
+        root: Any,
+        *,
+        snapshot_every: int | None = None,
+        fsync: bool = False,
+    ):
+        """Journal every commit to a write-ahead log under ``root``.
+
+        If this store already has history, a snapshot is written first so
+        the WAL only needs to cover what follows.  Returns the attached
+        :class:`~repro.fbnet.durability.DurabilityEngine`.
+        """
+        from repro.fbnet.durability import DurabilityEngine
+
+        if self._durability is not None:
+            raise TransactionError(f"store {self.name!r} already has durability")
+        self._durability = DurabilityEngine(
+            self, root, snapshot_every=snapshot_every, fsync=fsync
+        )
+        return self._durability
+
+    def detach_durability(self) -> None:
+        """Stop journaling; the files written so far stay recoverable."""
+        if self._durability is not None:
+            self._durability.close()
+            self._durability = None
+
+    @property
+    def durability(self):
+        """The attached durability engine, or ``None`` when volatile."""
+        return self._durability
+
+    @classmethod
+    def recover(
+        cls,
+        root: Any,
+        *,
+        name: str | None = None,
+        attach: bool = True,
+        snapshot_every: int | None = None,
+        fsync: bool = False,
+    ) -> ObjectStore:
+        """Rebuild a store from the durability root a crashed one left.
+
+        Loads the newest valid snapshot, replays the WAL tail (truncating
+        a torn tail frame), and returns a store whose tables, indexes, and
+        journal match the crashed store at its last durable commit.
+        """
+        from repro.fbnet.durability import recover_store
+
+        return recover_store(
+            root,
+            name=name,
+            attach=attach,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,250 @@
+"""WAL and snapshot mechanics: append, rotate, recover, truncate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults, obs
+from repro.common.errors import DurabilityError, ProcessCrash, TransactionError
+from repro.faults.plan import FaultPlan
+from repro.fbnet.durability import (
+    WAL_MAGIC,
+    encode_record,
+    snapshot_files,
+    store_digest,
+    wal_segments,
+)
+from repro.fbnet.models import Region
+from repro.fbnet.store import ObjectStore
+
+pytestmark = pytest.mark.durability
+
+
+def make_writes(store, count=5, prefix="r"):
+    created = []
+    for i in range(count):
+        created.append(store.create(Region, name=f"{prefix}{i}"))
+    return created
+
+
+class TestAppendAndRecover:
+    def test_empty_store_recovers_empty(self, tmp_path):
+        store = ObjectStore(name="main")
+        store.attach_durability(tmp_path)
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        assert recovered.journal == []
+        assert recovered.name == "main"
+        assert store_digest(recovered) == store_digest(store)
+
+    def test_journal_and_tables_round_trip(self, tmp_path, store):
+        store.attach_durability(tmp_path)
+        regions = make_writes(store)
+        store.update(regions[1], name="renamed")
+        store.delete(regions[2])
+
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        assert [encode_record(r) for r in recovered.journal] == [
+            encode_record(r) for r in store.journal
+        ]
+        assert store_digest(recovered) == store_digest(store)
+        assert recovered.first(Region, None) is not None
+        assert recovered.count(Region) == store.count(Region)
+
+    def test_rolled_back_txns_leave_no_trace(self, tmp_path, store):
+        store.attach_durability(tmp_path)
+        make_writes(store, 2)
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.create(Region, name="doomed")
+                raise RuntimeError("abort")
+        make_writes(store, 1, prefix="post")
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        assert store_digest(recovered) == store_digest(store)
+        assert recovered.first(Region, None) is not None
+        # Committed txn ids are preserved exactly — including the gap the
+        # aborted transaction left.
+        assert [r.txn_id for r in recovered.journal] == [
+            r.txn_id for r in store.journal
+        ]
+
+    def test_recovered_store_keeps_journaling(self, tmp_path, store):
+        store.attach_durability(tmp_path)
+        make_writes(store, 3)
+        recovered = ObjectStore.recover(tmp_path)
+        make_writes(recovered, 2, prefix="post")
+        second = ObjectStore.recover(tmp_path, attach=False)
+        assert store_digest(second) == store_digest(recovered)
+        assert second.count(Region) == 5
+
+    def test_txn_ids_never_collide_after_recovery(self, tmp_path, store):
+        store.attach_durability(tmp_path)
+        make_writes(store, 3)
+        recovered = ObjectStore.recover(tmp_path)
+        make_writes(recovered, 1, prefix="post")
+        old_ids = {r.txn_id for r in store.journal}
+        new_ids = {r.txn_id for r in recovered.journal} - old_ids
+        assert new_ids and max(old_ids) < min(new_ids)
+
+
+class TestAttachRules:
+    def test_attach_twice_rejected(self, tmp_path, store):
+        store.attach_durability(tmp_path / "a")
+        with pytest.raises(TransactionError, match="already"):
+            store.attach_durability(tmp_path / "b")
+
+    def test_attach_to_populated_root_rejected(self, tmp_path, store):
+        store.attach_durability(tmp_path)
+        make_writes(store, 1)
+        other = ObjectStore(name="other")
+        with pytest.raises(DurabilityError, match="recover"):
+            other.attach_durability(tmp_path)
+
+    def test_attach_to_nonempty_store_snapshots_history(self, tmp_path, store):
+        make_writes(store, 4)  # volatile history predates the WAL
+        store.attach_durability(tmp_path)
+        make_writes(store, 2, prefix="post")
+        assert snapshot_files(tmp_path)
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        assert store_digest(recovered) == store_digest(store)
+
+    def test_detach_then_recover(self, tmp_path, store):
+        store.attach_durability(tmp_path)
+        make_writes(store, 2)
+        store.detach_durability()
+        make_writes(store, 2, prefix="lost")  # volatile again
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        assert recovered.count(Region) == 2
+
+
+class TestSnapshots:
+    def test_auto_snapshot_cadence_rotates(self, tmp_path, store):
+        store.attach_durability(tmp_path, snapshot_every=2)
+        make_writes(store, 7)
+        assert len(snapshot_files(tmp_path)) == 2  # older ones pruned
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        assert store_digest(recovered) == store_digest(store)
+
+    def test_manual_snapshot_prunes_covered_segments(self, tmp_path, store):
+        engine = store.attach_durability(tmp_path)
+        make_writes(store, 3)
+        engine.snapshot()
+        make_writes(store, 3, prefix="b")
+        engine.snapshot()
+        make_writes(store, 3, prefix="c")
+        engine.snapshot()
+        # Two snapshots kept; segments below the older one pruned.
+        assert len(snapshot_files(tmp_path)) == 2
+        assert len(wal_segments(tmp_path)) <= 3
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        assert store_digest(recovered) == store_digest(store)
+
+    def test_corrupt_latest_snapshot_falls_back(self, tmp_path, store):
+        engine = store.attach_durability(tmp_path)
+        make_writes(store, 3)
+        engine.snapshot()
+        make_writes(store, 3, prefix="b")
+        engine.snapshot()
+        latest = snapshot_files(tmp_path)[0]
+        latest.write_bytes(latest.read_bytes()[:-7])  # corrupt the newest
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        assert store_digest(recovered) == store_digest(store)
+        assert obs.counter("store.recovery.invalid_snapshots").value == 1
+
+
+class TestTornTail:
+    def test_torn_write_truncated_and_commit_lost(self, tmp_path, store):
+        store.attach_durability(tmp_path)
+        make_writes(store, 3)
+        before = store_digest(store)
+        plan = FaultPlan(seed=1)
+        plan.inject("wal.append_torn", times=1)
+        faults.install(plan)
+        with pytest.raises(ProcessCrash):
+            store.create(Region, name="torn")
+        faults.uninstall()
+
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        # The torn commit never happened; everything before it survives.
+        assert store_digest(recovered) == before
+        assert obs.counter("store.wal.torn_truncated", store="fbnet").value == 1
+
+    def test_truncated_tail_reusable_for_appends(self, tmp_path, store):
+        store.attach_durability(tmp_path)
+        make_writes(store, 3)
+        plan = FaultPlan(seed=1)
+        plan.inject("wal.append_torn", times=1)
+        faults.install(plan)
+        with pytest.raises(ProcessCrash):
+            store.create(Region, name="torn")
+        faults.uninstall()
+
+        recovered = ObjectStore.recover(tmp_path)  # attaches + truncates
+        make_writes(recovered, 2, prefix="post")
+        second = ObjectStore.recover(tmp_path, attach=False)
+        assert store_digest(second) == store_digest(recovered)
+        assert second.count(Region) == 5
+
+    def test_mid_history_corruption_raises(self, tmp_path, store):
+        engine = store.attach_durability(tmp_path)
+        make_writes(store, 3)
+        engine.snapshot()  # rotate: first segment is no longer the tail
+        make_writes(store, 3, prefix="b")
+        first = wal_segments(tmp_path)[0]
+        data = bytearray(first.read_bytes())
+        data[len(WAL_MAGIC) + 20] ^= 0xFF
+        first.write_bytes(bytes(data))
+        # Corrupt non-tail segment: recovery must refuse, not guess —
+        # unless a snapshot already covers the damaged range.
+        for snap in snapshot_files(tmp_path):
+            snap.unlink()
+        with pytest.raises(DurabilityError):
+            ObjectStore.recover(tmp_path, attach=False)
+
+    def test_coverage_gap_raises(self, tmp_path, store):
+        engine = store.attach_durability(tmp_path)
+        make_writes(store, 3)
+        engine.snapshot()
+        make_writes(store, 3, prefix="b")
+        # Deleting every snapshot leaves the rotated segment's base > 0
+        # with nothing covering [0, base): a gap.
+        for snap in snapshot_files(tmp_path):
+            snap.unlink()
+        wal_segments(tmp_path)[0].unlink()
+        with pytest.raises(DurabilityError, match="gap"):
+            ObjectStore.recover(tmp_path, attach=False)
+
+
+class TestCrashPoints:
+    def test_append_crash_preserves_commit(self, tmp_path, store):
+        """Process dies after the WAL append: the commit IS durable."""
+        store.attach_durability(tmp_path)
+        make_writes(store, 3)
+        plan = FaultPlan(seed=1)
+        plan.inject("wal.append_crash", times=1)
+        faults.install(plan)
+        with pytest.raises(ProcessCrash):
+            store.create(Region, name="durable-but-not-applied")
+        faults.uninstall()
+
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        # In-memory the crashed store never saw the row; on disk it exists.
+        assert recovered.count(Region) == 4
+        assert recovered.journal_position == store.journal_position + 1
+
+    def test_rotate_crash_never_double_applies(self, tmp_path, store):
+        """Crash between snapshot write and WAL rotation: records overlap."""
+        engine = store.attach_durability(tmp_path)
+        make_writes(store, 4)
+        before = store_digest(store)
+        plan = FaultPlan(seed=1)
+        plan.inject("wal.rotate_crash", times=1)
+        faults.install(plan)
+        with pytest.raises(ProcessCrash):
+            engine.snapshot()
+        faults.uninstall()
+
+        # Snapshot covers [0, 4) AND the unrotated segment still holds the
+        # same records; recovery must apply each exactly once.
+        recovered = ObjectStore.recover(tmp_path, attach=False)
+        assert store_digest(recovered) == before
+        assert recovered.count(Region) == 4

@@ -1,0 +1,74 @@
+"""Commit-listener backlog semantics under the ``store.commit_listener`` fault.
+
+When the listener hookup hiccups, the commit itself stays durable but
+delivery is deferred.  These tests pin the contract downstream relies
+on (replication shipping, cache invalidation): deferred batches are
+delivered *in commit order*, *exactly once*, and *before* the batch of
+the commit that triggered the drain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults.plan import FaultPlan
+from repro.fbnet.models import Region
+
+
+@pytest.fixture
+def deliveries(store):
+    received: list[list[str]] = []
+    store.add_commit_listener(
+        lambda records: received.append([r.values["name"] for r in records])
+    )
+    return received
+
+
+def install_listener_fault(times: int) -> None:
+    plan = FaultPlan(seed=1)
+    plan.inject("store.commit_listener", times=times)
+    faults.install(plan)
+
+
+class TestListenerBacklog:
+    def test_single_deferred_batch_drains_on_next_commit(self, store, deliveries):
+        store.create(Region, name="a")
+        install_listener_fault(times=1)
+        store.create(Region, name="b")  # deferred
+        assert deliveries == [["a"]]
+        faults.uninstall()
+        store.create(Region, name="c")  # drains b, then delivers c
+        assert deliveries == [["a"], ["b"], ["c"]]
+
+    def test_multiple_backlogged_commits_preserve_order(self, store, deliveries):
+        install_listener_fault(times=3)
+        with store.transaction():
+            store.create(Region, name="a1")
+            store.create(Region, name="a2")
+        store.create(Region, name="b")
+        store.create(Region, name="c")
+        assert deliveries == []
+        faults.uninstall()
+        store.create(Region, name="d")
+        # Oldest first, multi-record batches intact, drain before delivery.
+        assert deliveries == [["a1", "a2"], ["b"], ["c"], ["d"]]
+
+    def test_flush_delivers_exactly_once(self, store, deliveries):
+        install_listener_fault(times=2)
+        store.create(Region, name="a")
+        store.create(Region, name="b")
+        faults.uninstall()
+        store.flush_commit_listeners()
+        assert deliveries == [["a"], ["b"]]
+        store.flush_commit_listeners()  # idempotent: backlog is empty now
+        assert deliveries == [["a"], ["b"]]
+        store.create(Region, name="c")
+        assert deliveries == [["a"], ["b"], ["c"]]
+
+    def test_deferred_commit_is_already_durable_in_journal(self, store, deliveries):
+        install_listener_fault(times=1)
+        store.create(Region, name="a")
+        assert deliveries == []
+        # Deferral delays *delivery*, never the commit itself.
+        assert [r.values["name"] for r in store.journal] == ["a"]

@@ -22,11 +22,22 @@ class TestApplyRecordEdges:
         with pytest.raises(TransactionError, match="missing"):
             store.apply_record(record)
 
-    def test_delete_for_missing_object_is_idempotent(self, store):
+    def test_delete_for_missing_object_raises(self, store):
+        # Symmetric with UPDATE: a delete for a row this store never had
+        # means it diverged from the journal source — surfaced, not masked.
+        from repro import obs
+
         record = ChangeRecord(
             txn_id=1, op=ChangeOp.DELETE, model="Region", obj_id=99,
         )
-        store.apply_record(record)  # no error: deletes replay safely
+        with pytest.raises(TransactionError, match="missing"):
+            store.apply_record(record)
+        assert (
+            obs.counter(
+                "store.replication.divergence", store=store.name, op="delete"
+            ).value
+            == 1
+        )
 
     def test_replicated_unique_index_works(self, store):
         replica = ObjectStore("replica")
