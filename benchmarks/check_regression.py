@@ -48,12 +48,25 @@ WALL_FIELDS = {
     "BENCH_parallel": ("serial_seconds", "parallel_seconds"),
     "BENCH_remediation": ("convergence_seconds",),
     "BENCH_durability": ("recovery_seconds",),
+    # cycle_seconds and sweep_seconds are deliberately absent for the
+    # same reason as incremental_seconds above: both are tens-of-ms
+    # measurements whose noise exceeds the tolerance; the benchmark's
+    # own assertions (O(dirty) cycle, zero-discrepancy sweep) guard
+    # those paths.
+    "BENCH_shard": (
+        "build_seconds",
+        "provision_seconds",
+    ),
 }
 
 #: file stem -> {field: minimum} ratios that must hold absolutely.
 FLOOR_FIELDS = {
     "sec54_incremental_configgen": {"speedup": 10.0},
     "BENCH_parallel": {"speedup": 2.0},
+    # ROADMAP item 1's scale bar: the sharded benchmark must drive the
+    # full management cycle over a 2000+ device fleet (counts are
+    # machine-neutral, so no calibration scaling applies).
+    "BENCH_shard": {"devices": 2000},
 }
 
 #: file stem -> {field: maximum} ratios that must hold absolutely —

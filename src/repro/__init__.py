@@ -42,14 +42,21 @@ Package map (paper section in parentheses):
 
 from repro.core.robotron import Robotron
 from repro.core.seeds import SeededEnvironment, seed_environment
+from repro.design.fleet import FLEET_224, FLEET_2K, FleetProfile, build_fleet
+from repro.fbnet.sharding import ShardedObjectStore
 from repro.fbnet.store import ObjectStore
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "FLEET_224",
+    "FLEET_2K",
+    "FleetProfile",
     "ObjectStore",
     "Robotron",
     "SeededEnvironment",
+    "ShardedObjectStore",
     "__version__",
+    "build_fleet",
     "seed_environment",
 ]

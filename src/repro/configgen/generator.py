@@ -230,6 +230,11 @@ class ConfigGenerator:
             template_versions=template_versions,
         )
         obs.counter("configgen.render", vendor=vendor).inc()
+        # Against a sharded store, also attribute the render to the
+        # device's partition — imbalance here mirrors store imbalance.
+        shard_of = getattr(self._store, "shard_of", None)
+        if shard_of is not None:
+            obs.counter("configgen.render.shard", shard=shard_of(device)).inc()
         if started is not None:
             obs.histogram("configgen.render.latency", vendor=vendor).observe(
                 perf_counter() - started

@@ -88,7 +88,14 @@ class Robotron:
         *,
         configerator: Configerator | None = None,
         retry_policy: RetryPolicy | None = None,
+        shards: int | None = None,
     ):
+        if shards is not None:
+            if store is not None:
+                raise RobotronError("pass either a store or a shard count")
+            from repro.fbnet.sharding import ShardedObjectStore
+
+            store = ShardedObjectStore(shards=shards)
         self.scheduler = scheduler or EventScheduler()
         #: Passed to the deployer and job manager built by this facade so
         #: chaos runs recover transient faults (see :mod:`repro.faults`).
@@ -143,7 +150,18 @@ class Robotron:
         re-derived from it the same way a fresh deployment would:
         ``boot_fleet()``, ``attach_monitoring()``, ``attach_remediation()``.
         """
-        store = ObjectStore.recover(
+        from pathlib import Path
+
+        from repro.fbnet.sharding import MANIFEST_NAME, ShardedObjectStore
+
+        # A sharded root carries a manifest next to its shard dirs; a
+        # single-store root is the WAL directory itself.
+        store_cls = (
+            ShardedObjectStore
+            if (Path(root) / MANIFEST_NAME).is_file()
+            else ObjectStore
+        )
+        store = store_cls.recover(
             root, snapshot_every=snapshot_every, fsync=fsync
         )
         return cls(

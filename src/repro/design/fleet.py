@@ -1,0 +1,192 @@
+"""Declarative fleet profiles: the whole synthetic network in one value.
+
+The paper's Robotron manages hundreds of thousands of objects; the
+reproduction's benchmarks and chaos runs need fleet sizes that are
+reproducible and named.  A :class:`FleetProfile` pins everything a build
+needs — regions, sites, cluster generations, backbone shape — and
+:func:`build_fleet` materializes it deterministically, so two runs (or
+two stores with different shard counts) produce byte-identical designs.
+
+Two stock profiles:
+
+* :data:`FLEET_224` — the historical baseline: 8 DC Gen3 clusters in
+  3 regions, 224 devices.  Small enough for every tier-1 test.
+* :data:`FLEET_2K` — ROADMAP item 1's scale target: 64 DC Gen3 and
+  16 POP Gen2 clusters plus a cross-region backbone ring, 2000+ devices
+  across 6 regions.  The sharded-store benchmark runs the full
+  management cycle against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.seeds import SeededEnvironment, seed_environment
+from repro.design.backbone import BackboneDesignTool
+from repro.design.cluster import build_cluster
+from repro.design.materializer import MaterializedCluster
+from repro.fbnet.base import Model
+from repro.fbnet.models import ClusterGeneration
+from repro.fbnet.store import ObjectStore
+
+__all__ = ["FLEET_224", "FLEET_2K", "FleetBuild", "FleetProfile", "build_fleet"]
+
+#: Devices per cluster generation (see repro.design.cluster templates).
+_GENERATION_DEVICES = {
+    ClusterGeneration.POP_GEN1: 8,
+    ClusterGeneration.POP_GEN2: 14,
+    ClusterGeneration.DC_GEN1: 14,
+    ClusterGeneration.DC_GEN2: 20,
+    ClusterGeneration.DC_GEN3: 28,
+}
+
+
+@dataclass(frozen=True)
+class FleetProfile:
+    """Everything one synthetic fleet build needs, as a value."""
+
+    name: str
+    region_names: tuple[str, ...]
+    datacenter_count: int
+    pop_count: int
+    backbone_site_count: int
+    #: DC clusters built per datacenter site.
+    dc_clusters_per_site: int = 1
+    dc_generation: ClusterGeneration = ClusterGeneration.DC_GEN3
+    #: POP clusters built per POP site (0 = POP sites stay empty).
+    pop_clusters_per_site: int = 0
+    pop_generation: ClusterGeneration = ClusterGeneration.POP_GEN2
+    #: Backbone routers per backbone site; consecutive routers are joined
+    #: by a circuit ring, which crosses regions (sites round-robin across
+    #: them) — the home-shard rule's cross-region objects.
+    backbone_routers_per_site: int = 0
+    #: Also join every backbone router into the full BGP mesh.
+    backbone_mesh: bool = False
+
+    @property
+    def device_count(self) -> int:
+        """Devices the profile materializes (clusters + backbone routers)."""
+        return (
+            self.datacenter_count
+            * self.dc_clusters_per_site
+            * _GENERATION_DEVICES[self.dc_generation]
+            + self.pop_count
+            * self.pop_clusters_per_site
+            * _GENERATION_DEVICES[self.pop_generation]
+            + self.backbone_site_count * self.backbone_routers_per_site
+        )
+
+
+@dataclass
+class FleetBuild:
+    """Handles to what :func:`build_fleet` created."""
+
+    profile: FleetProfile
+    env: SeededEnvironment
+    clusters: list[MaterializedCluster] = field(default_factory=list)
+    backbone_routers: list[Model] = field(default_factory=list)
+
+    def all_devices(self) -> list[Model]:
+        devices: list[Model] = []
+        for cluster in self.clusters:
+            devices.extend(cluster.all_devices())
+        devices.extend(self.backbone_routers)
+        return devices
+
+
+#: The historical 224-device baseline (8 x DC Gen3 across 3 regions).
+FLEET_224 = FleetProfile(
+    name="fleet_224",
+    region_names=("na-east", "na-west", "eu-central"),
+    datacenter_count=8,
+    pop_count=2,
+    backbone_site_count=2,
+)
+
+#: ROADMAP item 1's scale target: ~2k devices across 6 regions.
+FLEET_2K = FleetProfile(
+    name="fleet_2k",
+    region_names=(
+        "na-east",
+        "na-west",
+        "eu-central",
+        "eu-west",
+        "ap-south",
+        "ap-east",
+    ),
+    datacenter_count=32,
+    dc_clusters_per_site=2,
+    pop_count=16,
+    pop_clusters_per_site=1,
+    backbone_site_count=6,
+    backbone_routers_per_site=1,
+    backbone_mesh=True,
+)
+
+
+def build_fleet(store: ObjectStore, profile: FleetProfile) -> FleetBuild:
+    """Materialize ``profile`` into ``store``, deterministically.
+
+    Site seeding, cluster builds, and backbone growth all happen in name
+    order, so the resulting object graph (ids, journal, digests) depends
+    only on the profile — not on the store's shard count or the worker
+    pool size.
+    """
+    env = seed_environment(
+        store,
+        region_names=profile.region_names,
+        pop_count=profile.pop_count,
+        datacenter_count=profile.datacenter_count,
+        backbone_site_count=profile.backbone_site_count,
+    )
+    build = FleetBuild(profile=profile, env=env)
+
+    for site_name in sorted(env.datacenters):
+        site = env.datacenters[site_name]
+        for index in range(1, profile.dc_clusters_per_site + 1):
+            build.clusters.append(
+                build_cluster(
+                    store,
+                    f"{site_name}.c{index:02d}",
+                    site,
+                    profile.dc_generation,
+                )
+            )
+    for site_name in sorted(env.pops):
+        site = env.pops[site_name]
+        for index in range(1, profile.pop_clusters_per_site + 1):
+            build.clusters.append(
+                build_cluster(
+                    store,
+                    f"{site_name}.c{index:02d}",
+                    site,
+                    profile.pop_generation,
+                )
+            )
+
+    if profile.backbone_routers_per_site:
+        backbone = BackboneDesignTool(store)
+        for site_name in sorted(env.backbone_sites):
+            site = env.backbone_sites[site_name]
+            for index in range(1, profile.backbone_routers_per_site + 1):
+                build.backbone_routers.append(
+                    backbone.add_router(
+                        f"{site_name}-br{index:02d}", site, "Router_Vendor1"
+                    )
+                )
+        # A circuit ring over the routers: consecutive backbone sites sit
+        # in different regions, so these circuits (and the mesh's BGP
+        # sessions) are exactly the cross-region objects the sharded
+        # store's home-shard rule has to place.
+        routers = build.backbone_routers
+        if len(routers) > 1:
+            for position, router in enumerate(routers):
+                peer = routers[(position + 1) % len(routers)]
+                if len(routers) == 2 and position == 1:
+                    break  # two routers need one circuit, not two
+                backbone.add_circuit(router.name, peer.name)
+        if profile.backbone_mesh:
+            for router in routers:
+                backbone.join_mesh(router)
+
+    return build

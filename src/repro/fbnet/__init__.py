@@ -27,6 +27,7 @@ The package provides, mirroring the paper:
 from repro.fbnet.base import Model, ModelGroup, model_registry
 from repro.fbnet.changelog import ChangeLog, ReadSet
 from repro.fbnet.query import And, Expr, Not, Op, Or, Query
+from repro.fbnet.sharding import ShardAssignment, ShardedObjectStore
 from repro.fbnet.store import ObjectStore
 
 # Importing the models package registers every concrete model, so that the
@@ -46,5 +47,7 @@ __all__ = [
     "Or",
     "Query",
     "ReadSet",
+    "ShardAssignment",
+    "ShardedObjectStore",
     "model_registry",
 ]

@@ -522,6 +522,7 @@ def recover_store(
     attach: bool = True,
     snapshot_every: int | None = None,
     fsync: bool = False,
+    into: ObjectStore | None = None,
 ) -> ObjectStore:
     """Rebuild an :class:`ObjectStore` from its durability root.
 
@@ -534,6 +535,11 @@ def recover_store(
 
     With ``attach`` (the default) the recovered store continues journaling
     into the same root, appending to the surviving segment.
+
+    ``into`` replays history into a caller-provided *empty* store instead
+    of constructing a fresh one — how a sharded store recovers each of
+    its partitions (the partition object needs router wiring a plain
+    constructor cannot provide).
     """
     from repro.fbnet.store import ObjectStore
 
@@ -553,7 +559,12 @@ def recover_store(
     if store_name is None and segments:
         header, _bodies, _end, _torn = _scan_segment(segments[0])
         store_name = header.get("store")
-    store = ObjectStore(name=store_name or "fbnet")
+    if into is not None:
+        if into.journal_position or into.total_objects():
+            raise DurabilityError("recover_store(into=...) needs an empty store")
+        store = into
+    else:
+        store = ObjectStore(name=store_name or "fbnet")
 
     store._recovering = True
     torn_truncated = 0
@@ -653,7 +664,7 @@ def store_digest(store: ObjectStore) -> str:
             str(obj_id): encode_value(obj.clone_values())
             for obj_id, obj in sorted(rows.items())
         }
-        for model, rows in sorted(store._tables.items())
+        for model, rows in sorted(store._digest_tables().items())
         if rows
     }
     payload = {

@@ -24,7 +24,16 @@ from repro.fbnet.fields import ForeignKey
 if TYPE_CHECKING:
     from repro.fbnet.base import Model
 
-__all__ = ["And", "Expr", "Not", "Op", "Or", "Query", "resolve_path"]
+__all__ = [
+    "And",
+    "Expr",
+    "Not",
+    "Op",
+    "Or",
+    "Query",
+    "indexable_equalities",
+    "resolve_path",
+]
 
 
 class Op(Enum):
@@ -310,3 +319,29 @@ def ensure_query(query: Query | None) -> Query | None:
     if query is not None and not isinstance(query, Query):
         raise QueryError(f"expected a Query, got {type(query).__name__}")
     return query
+
+
+def indexable_equalities(query: Query) -> tuple[Expr, ...]:
+    """The direct equality children an ``And`` query can be narrowed by.
+
+    Planner hint: an ``And``'s result set is a subset of any one child's
+    matches, so a child that is a plain (non-dotted) equality expression
+    may be servable from a unique or reverse index — the planner then
+    filters those candidates with the full query instead of scanning
+    every row.  For a bare equality ``Expr`` the expression itself is
+    returned; ``Or``/``Not`` (and dotted or non-equality children) offer
+    no sound narrowing and yield nothing.
+    """
+    if isinstance(query, Expr):
+        children: tuple[Query, ...] = (query,)
+    elif isinstance(query, And):
+        children = query.children
+    else:
+        return ()
+    return tuple(
+        child
+        for child in children
+        if isinstance(child, Expr)
+        and child.op is Op.EQUAL
+        and "." not in child.field
+    )

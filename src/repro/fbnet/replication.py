@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field as dc_field
+from pathlib import Path
 from typing import Any
 
 from repro import faults, obs
@@ -77,6 +78,7 @@ class ReplicatedFBNet:
         write_replicas: int = 2,
         max_lag: float = 30.0,
         retry_policy: RetryPolicy | None = None,
+        store_factory: Callable[[str], ObjectStore] | None = None,
     ):
         if master_region not in regions:
             raise ValueError(f"master region {master_region!r} not in {regions}")
@@ -90,11 +92,16 @@ class ReplicatedFBNet:
         self.region_order = list(regions)
         self.master_region = master_region
         self.max_lag = max_lag
+        #: How each region's store is built — lets a deployment replicate
+        #: sharded stores (``lambda name: ShardedObjectStore(name=name)``).
+        self._store_factory = store_factory or (
+            lambda name: ObjectStore(name=name)
+        )
         self.regions: dict[str, RegionState] = {}
         for region in regions:
             state = RegionState(
                 name=region,
-                store=ObjectStore(name=f"fbnet-{region}"),
+                store=self._store_factory(f"fbnet-{region}"),
                 lag=replication_lag,
             )
             for i in range(read_replicas_per_region):
@@ -304,7 +311,7 @@ class ReplicatedFBNet:
                 region.store.apply_record(record)
         else:
             mode = "full"
-            fresh = ObjectStore(name=f"fbnet-{region.name}")
+            fresh = self._store_factory(f"fbnet-{region.name}")
             for record in master_journal:
                 fresh.apply_record(record)
             region.store.detach_durability()
@@ -422,7 +429,14 @@ class ReplicatedFBNet:
         """
         master = self.master
         master.store.detach_durability()
-        recovered = ObjectStore.recover(
+        from repro.fbnet.sharding import MANIFEST_NAME, ShardedObjectStore
+
+        store_cls = (
+            ShardedObjectStore
+            if (Path(root) / MANIFEST_NAME).is_file()
+            else ObjectStore
+        )
+        recovered = store_cls.recover(
             root,
             name=f"fbnet-{self.master_region}",
             snapshot_every=snapshot_every,

@@ -394,12 +394,19 @@ class ObjectStore:
                     f"{len(referrers)} {source_model.__name__}.{fk_name} referrer(s)"
                 )
             for referrer in referrers:
+                # A referrer may live in a different partition of a sharded
+                # store; its mutation must run on the store that holds it.
+                owner = self._owning_store(referrer)
                 if fk.on_delete is OnDelete.CASCADE:
-                    self._delete_inner(referrer, seen)
+                    owner._delete_inner(referrer, seen)
                 else:  # SET_NULL
                     referrer.__dict__[fk_name] = None
-                    self._update(referrer)
+                    owner._update(referrer)
         self._remove_row(obj)
+
+    def _owning_store(self, obj: Model) -> ObjectStore:
+        """The store that physically holds ``obj`` (self, unless sharded)."""
+        return self
 
     def _remove_row(self, obj: Model) -> None:
         table = self._tables.get(type(obj).__name__, {})
@@ -521,7 +528,7 @@ class ObjectStore:
     def _describe_holder(self, root: str, obj_id: int) -> str:
         for concrete in model_registry.all():
             if self._family_root(concrete) == root:
-                obj = self._tables.get(concrete.__name__, {}).get(obj_id)
+                obj = self._row(concrete.__name__, obj_id)
                 if obj is not None:
                     return repr(obj)
         return f"id={obj_id}"
@@ -621,10 +628,19 @@ class ObjectStore:
         ids = self._reverse_index.get((source_model.__name__, fk_name), {}).get(
             obj.id, set()
         )
-        table = self._tables.get(source_model.__name__, {})
+        rows = (self._row(source_model.__name__, i) for i in ids)
         return sorted(
-            (table[i] for i in ids if i in table), key=lambda o: o.id or 0
+            (row for row in rows if row is not None), key=lambda o: o.id or 0
         )
+
+    def _row(self, model_name: str, obj_id: int) -> Model | None:
+        """Resolve one indexed id to its live row.
+
+        The indirection every index consumer goes through: a sharded
+        store's indexes are global while its tables are partitioned, so
+        the sharded subclasses override this to resolve across partitions.
+        """
+        return self._tables.get(model_name, {}).get(obj_id)
 
     # ------------------------------------------------------------------
     # Reads
@@ -706,13 +722,12 @@ class ObjectStore:
                     return None
                 served = True
                 read_deps.append(concrete.__name__)
-                table = self._tables.get(concrete.__name__, {})
                 buckets = self._reverse_index.get(
                     (concrete.__name__, query.field), {}
                 )
                 for rvalue in query.rvalues:
                     for obj_id in buckets.get(rvalue, ()):
-                        obj = table.get(obj_id)
+                        obj = self._row(concrete.__name__, obj_id)
                         if obj is not None:
                             rows.append(obj)  # type: ignore[arg-type]
             elif field.unique:
@@ -724,7 +739,7 @@ class ObjectStore:
                     obj_id = bucket.get(self._hashable(rvalue))
                     if obj_id is None:
                         continue
-                    obj = self._tables.get(concrete.__name__, {}).get(obj_id)
+                    obj = self._row(concrete.__name__, obj_id)
                     if obj is not None:
                         rows.append(obj)  # type: ignore[arg-type]
             else:
@@ -948,6 +963,15 @@ class ObjectStore:
 
     def total_objects(self) -> int:
         return sum(len(rows) for rows in self._tables.values())
+
+    def _digest_tables(self) -> dict[str, dict[int, Model]]:
+        """Every table, as one mapping — the fingerprinting surface.
+
+        A sharded store overrides this to merge its partitions, so
+        :func:`repro.fbnet.durability.store_digest` compares sharded and
+        single stores on equal footing.
+        """
+        return self._tables
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ObjectStore {self.name!r} objects={self.total_objects()}>"

@@ -1,0 +1,203 @@
+"""Cross-shard edges: traversals, constraints, and transactions.
+
+The home-shard rule keeps most related objects co-located, but circuits
+and BGP sessions genuinely span regions.  Everything that crosses a
+partition boundary — ``related()``, ``referrers()``, cascades, PROTECT
+aborts, global uniqueness — must behave exactly as it does on the single
+store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import seed_environment
+from repro.common.errors import IntegrityError
+from repro.design.backbone import BackboneDesignTool
+from repro.fbnet.durability import store_digest
+from repro.fbnet.models import (
+    AggregatedInterface,
+    BackboneRouter,
+    Circuit,
+    HardwareProfile,
+    LinecardModel,
+    NetworkDomain,
+    PeeringRouter,
+    PhysicalInterface,
+    Pop,
+    Region,
+    Vendor,
+)
+
+pytestmark = pytest.mark.sharding
+
+
+@pytest.fixture
+def backbone(sharded, shard_count):
+    """Two backbone routers in different regions, joined by a circuit.
+
+    Region names are chosen so the two regions hash to *different*
+    shards; a one-shard matrix cell has no cross-shard placements, so
+    the fixture skips there.
+    """
+    if shard_count < 2:
+        pytest.skip("shard count 1 has no cross-shard placements")
+    assignment = sharded.assignment
+    names = [f"region-{i:02d}" for i in range(32)]
+    pair = None
+    for left in names:
+        for right in names:
+            if left < right and assignment.shard_of_token(
+                left
+            ) != assignment.shard_of_token(right):
+                pair = (left, right)
+                break
+        if pair:
+            break
+    assert pair, "32 region names never split across shards"
+    env = seed_environment(
+        sharded,
+        region_names=pair,
+        pop_count=0,
+        datacenter_count=0,
+        backbone_site_count=2,
+    )
+    tool = BackboneDesignTool(sharded)
+    routers = [
+        tool.add_router(f"{name}-br01", env.backbone_sites[name], "Router_Vendor1")
+        for name in sorted(env.backbone_sites)
+    ]
+    tool.add_circuit(routers[0].name, routers[1].name)
+    return env, routers
+
+
+def far_end_of(sharded, circuit):
+    """The circuit end homed on a different shard than the circuit.
+
+    The circuit homes with the lexicographically smallest endpoint
+    region, so exactly one of its two interfaces is remote.
+    """
+    ends = {
+        end: circuit.related(end) for end in ("a_interface", "z_interface")
+    }
+    remote = {
+        end: pif
+        for end, pif in ends.items()
+        if sharded.shard_of(pif) != sharded.shard_of(circuit)
+    }
+    assert len(remote) == 1, "exactly one end must cross the boundary"
+    return next(iter(remote.items()))
+
+
+class TestCrossShardTraversal:
+    def test_related_crosses_the_shard_boundary(self, sharded, backbone):
+        circuit = sharded.all(Circuit)[0]
+        _, far_end = far_end_of(sharded, circuit)
+        assert isinstance(far_end, PhysicalInterface)
+        assert far_end.device().name.endswith("-br01")
+
+    def test_referrers_cross_the_shard_boundary(self, sharded, backbone):
+        circuit = sharded.all(Circuit)[0]
+        fk_name, far_end = far_end_of(sharded, circuit)
+        assert sharded.referrers(far_end, Circuit, fk_name) == [circuit]
+        # Reverse-relation sugar resolves through the same global index.
+        sugar = getattr(far_end, f"{fk_name[0]}_circuits")
+        assert list(sugar) == [circuit]
+
+    def test_deleting_a_circuit_clears_remote_reverse_index(
+        self, sharded, backbone
+    ):
+        circuit = sharded.all(Circuit)[0]
+        fk_name, far_end = far_end_of(sharded, circuit)
+        sharded.delete(circuit)
+        assert sharded.referrers(far_end, Circuit, fk_name) == []
+        assert sharded.all(Circuit) == []
+
+
+class TestCrossShardConstraints:
+    def test_protect_abort_rolls_back_every_shard(self, sharded, backbone):
+        env, routers = backbone
+        before = store_digest(sharded)
+        sizes = sharded.shard_sizes()
+        # Deleting a router cascades into its interfaces, which the
+        # cross-shard circuit PROTECTs — the abort must leave all shards
+        # exactly as they were.
+        for router in routers:
+            with pytest.raises(IntegrityError, match="protected"):
+                sharded.delete(router)
+        assert store_digest(sharded) == before
+        assert sharded.shard_sizes() == sizes
+        assert len(sharded.all(BackboneRouter)) == 2
+
+    def test_unique_names_are_global_not_per_shard(self, sharded, backbone):
+        env, routers = backbone
+        tool = BackboneDesignTool(sharded)
+        first, second = sorted(env.backbone_sites)
+        # Same device name, homed on a different shard: still a dup.
+        assert sharded.shard_of(env.backbone_sites[first]) != sharded.shard_of(
+            env.backbone_sites[second]
+        )
+        with pytest.raises(IntegrityError):
+            tool.add_router(routers[0].name, env.backbone_sites[second], "Router_Vendor1")
+
+    def test_cascade_follows_a_migrated_parent_across_shards(self, sharded):
+        # Homes are sticky: a device created in one region keeps its
+        # shard when its POP is re-parented, but objects created
+        # *afterwards* hash from the new ancestry — so the device's own
+        # interface can land on another shard, and deleting the device
+        # must CASCADE across the boundary.
+        aa = sharded.create(Region, name="region-00")
+        zz = None
+        for index in range(1, 32):
+            candidate = sharded.create(Region, name=f"region-{index:02d}")
+            if sharded.shard_of(candidate) != sharded.shard_of(aa):
+                zz = candidate
+                break
+        if zz is None:
+            pytest.skip("shard count 1 has no cross-shard placements")
+        pop = sharded.create(Pop, name="pop01", region=aa, domain=NetworkDomain.POP)
+        lcm = sharded.create(
+            LinecardModel, name="LC-1x1G", port_count=1, port_speed_mbps=1_000
+        )
+        profile = sharded.create(
+            HardwareProfile,
+            name="Router_Tiny",
+            vendor=Vendor.VENDOR1,
+            slot_count=1,
+            linecard_model=lcm,
+        )
+        router = sharded.create(
+            PeeringRouter, name="pop01-pr1", hardware_profile=profile, pop=pop
+        )
+        assert sharded.shard_of(router) == sharded.shard_of(aa)
+
+        sharded.update(pop, region=zz)
+        agg = sharded.create(
+            AggregatedInterface, name="ae0", device=router, number=0
+        )
+        assert sharded.shard_of(agg) == sharded.shard_of(zz)
+        assert sharded.shard_of(agg) != sharded.shard_of(router)
+
+        sharded.delete(router)
+        assert sharded.all(AggregatedInterface) == []
+        assert sharded.all(PeeringRouter) == []
+        assert agg.id not in sharded._home
+
+    def test_multi_shard_transaction_rollback_leaves_all_clean(self, sharded):
+        class Boom(RuntimeError):
+            pass
+
+        with pytest.raises(Boom):
+            with sharded.transaction():
+                for index in range(8):
+                    sharded.create(Region, name=f"region-{index:02d}")
+                raise Boom()
+        assert sharded.total_objects() == 0
+        assert sharded.journal == []
+        assert sharded._home == {}
+        assert sharded.shard_sizes() == {
+            shard.shard_key: 0 for shard in sharded.shards
+        }
+        # The store is still fully usable afterwards.
+        region = sharded.create(Region, name="region-00")
+        assert sharded.get(Region, region.id) is region

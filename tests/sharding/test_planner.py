@@ -1,0 +1,157 @@
+"""The query planner's fast paths and shard-labeled observability.
+
+Satellites: indexed point lookups route to the owning shard and count
+under ``store.planner.single_shard``; full scans count one
+``store.planner.fanout`` per shard; per-shard object/txn telemetry shows
+up in ``obs.report()``; and read tracking records exactly what the
+single store records, so the incremental cycle's dirty mapping is
+shard-oblivious.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs, seed_environment
+from repro.fbnet.models import (
+    Device,
+    PeeringRouter,
+    Pop,
+    Region,
+)
+from repro.fbnet.query import And, Expr, Op
+from repro.fbnet.store import ObjectStore
+
+pytestmark = pytest.mark.sharding
+
+
+def readset_shape(reads):
+    return (
+        set(reads.models),
+        set(reads.objects),
+        {
+            model: {field: set(values) for field, values in per_field.items()}
+            for model, per_field in reads.fields.items()
+        },
+    )
+
+
+@pytest.fixture
+def seeded(sharded):
+    seed_environment(sharded)
+    obs.reset()
+    return sharded
+
+
+class TestPlannerFastPath:
+    def test_get_is_a_single_shard_read(self, seeded):
+        region = seeded.all(Region)[0]
+        obs.reset()
+        assert seeded.get(Region, region.id) is region
+        assert obs.counter("store.planner.single_shard", store=seeded.name).value == 1
+        assert obs.counter("store.planner.fanout", store=seeded.name, shard="s00").value == 0
+
+    def test_unique_index_filter_is_single_shard(self, seeded):
+        obs.reset()
+        found = seeded.filter(Pop, Expr("name", Op.EQUAL, "pop01"))
+        assert [p.name for p in found] == ["pop01"]
+        assert obs.counter("store.planner.single_shard", store=seeded.name).value == 1
+
+    def test_narrowed_and_filter_is_single_shard(self, seeded):
+        pop = seeded.filter(Pop, Expr("name", Op.EQUAL, "pop01"))[0]
+        query = And(
+            Expr("name", Op.EQUAL, "pop01"),
+            Expr("region", Op.EQUAL, pop.region_id),
+        )
+        obs.reset()
+        found = seeded.filter(Pop, query)
+        assert [p.name for p in found] == ["pop01"]
+        assert obs.counter("store.planner.single_shard", store=seeded.name).value == 1
+
+    def test_full_scan_counts_fanout_per_shard(self, seeded, shard_count):
+        obs.reset()
+        seeded.all(Region)
+        for shard in seeded.shards:
+            expected = 1 if shard_count > 1 else 0
+            assert (
+                obs.counter(
+                    "store.planner.fanout", store=seeded.name, shard=shard.shard_key
+                ).value
+                == expected
+            )
+
+    def test_miss_on_unique_index_stays_single_shard(self, seeded):
+        obs.reset()
+        assert seeded.filter(Pop, Expr("name", Op.EQUAL, "nope")) == []
+        assert obs.counter("store.planner.single_shard", store=seeded.name).value == 1
+
+
+class TestShardObservability:
+    def test_shard_gauges_cover_every_partition(self, seeded):
+        seeded.create(Region, name="zz-extra")
+        sizes = seeded.shard_sizes()
+        for shard in seeded.shards:
+            gauge = obs.gauge(
+                "store.shard.objects", store=seeded.name, shard=shard.shard_key
+            )
+            assert gauge.value == sizes[shard.shard_key]
+
+    def test_txn_counter_labels_the_touched_shard(self, seeded):
+        region = seeded.create(Region, name="zz-extra")
+        key = seeded.shard_of(region)
+        assert (
+            obs.counter("store.shard.txns", store=seeded.name, shard=key).value
+            == 1
+        )
+
+    def test_report_renders_shard_metrics(self, seeded):
+        seeded.create(Region, name="zz-extra")
+        seeded.all(Device)
+        report = obs.report()
+        assert "store.shard.objects" in report
+        assert "store.shard.txns" in report
+        assert "store.planner.single_shard" in report or "store.planner.fanout" in report
+        assert "s00" in report
+
+
+class TestReadSetParity:
+    def build(self, store):
+        env = seed_environment(store)
+        store.create(
+            PeeringRouter,
+            name="pr1",
+            hardware_profile=env.profiles["Router_Vendor1"],
+            pop=env.pops["pop01"],
+        )
+        return store
+
+    def observe(self, store):
+        shapes = []
+        with store.track_reads() as reads:
+            store.get(Region, store.all(Region)[0].id)
+        shapes.append(readset_shape(reads))
+        with store.track_reads() as reads:
+            store.filter(PeeringRouter, Expr("name", Op.EQUAL, "pr1"))
+        shapes.append(readset_shape(reads))
+        pop = store.filter(Pop, Expr("name", Op.EQUAL, "pop01"))[0]
+        with store.track_reads() as reads:
+            store.filter(
+                Pop,
+                And(
+                    Expr("name", Op.EQUAL, "pop01"),
+                    Expr("region", Op.EQUAL, pop.region_id),
+                ),
+            )
+        shapes.append(readset_shape(reads))
+        with store.track_reads() as reads:
+            store.filter(Region, Expr("name", Op.STARTSWITH, "na-"))
+        shapes.append(readset_shape(reads))
+        with store.track_reads() as reads:
+            store.all(Device)
+        shapes.append(readset_shape(reads))
+        return shapes
+
+    def test_sharded_reads_record_exactly_like_plain(self, sharded):
+        plain = self.build(ObjectStore())
+        self.build(sharded)
+        assert self.observe(sharded) == self.observe(plain)

@@ -1,0 +1,89 @@
+"""Chaos on the sharded store reproduces bit-for-bit (CI matrix gate).
+
+The shard matrix reruns this file per (FBNET_SHARDS, ROBOTRON_WORKERS,
+CHAOS_SEED) cell: a full chaos management cycle — build, provision,
+monitor under injected faults, then an incremental cycle — must produce
+the identical fault record, store digest, and deterministic metric dump
+whether the pool runs serial or wide, and the digest must not depend on
+the shard count at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Robotron, faults, obs, parallel, seed_environment
+from repro.faults import FaultPlan, RetryPolicy
+from repro.fbnet.durability import store_digest
+from repro.fbnet.models import ClusterGeneration, PhysicalInterface
+
+pytestmark = [pytest.mark.sharding, pytest.mark.parallel]
+
+
+def run_shard_cycle(seed: int, shard_count: int) -> tuple[dict, str, str]:
+    """One chaos cycle on a sharded store; returns (fingerprint, digest, dump)."""
+    obs.reset()
+    faults.uninstall()
+    robotron = Robotron(
+        shards=shard_count,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=1.0),
+    )
+    env = seed_environment(robotron.store)
+    plan = FaultPlan(seed=seed)
+    plan.inject("deploy.push", device="pop01.c01.tor1", times=2)
+    plan.inject("deploy.push", probability=0.05)
+    plan.inject("monitoring.collect", job="snmp-system", times=2)
+    robotron.install_fault_plan(plan)
+    try:
+        cluster = robotron.build_cluster(
+            "pop01.c01", env.pops["pop01"], ClusterGeneration.POP_GEN2
+        )
+        robotron.boot_fleet()
+        provision = robotron.provision_cluster(cluster)
+        robotron.attach_monitoring()
+        robotron.run_minutes(10)
+        pif = robotron.store.all(PhysicalInterface)[0]
+        robotron.store.update(pif, description="chaos recable")
+        report = robotron.incremental_cycle()
+    finally:
+        faults.uninstall()
+    fingerprint = {
+        "injections": list(plan.injections),
+        "provision_ok": provision.ok,
+        "provision_succeeded": sorted(provision.succeeded),
+        "cycle_ok": report.ok,
+        "regenerated": sorted(report.generation.regenerated),
+        "discrepancies": sorted(d.device for d in report.discrepancies),
+        "journal_position": robotron.store.journal_position,
+        "clock": robotron.scheduler.clock.now,
+    }
+    digest = store_digest(robotron.store)
+    dump = json.dumps(obs.deterministic_dump(), sort_keys=True)
+    return fingerprint, digest, dump
+
+
+class TestShardChaosDeterminism:
+    def test_serial_and_pool_of_four_identical(self, chaos_seed, shard_count):
+        with parallel.workers(1):
+            serial = run_shard_cycle(chaos_seed, shard_count)
+        with parallel.workers(4):
+            pooled = run_shard_cycle(chaos_seed, shard_count)
+        assert pooled[0] == serial[0]
+        assert pooled[1] == serial[1]
+        assert pooled[2] == serial[2]
+
+    def test_configured_pool_size_reproduces_itself(self, chaos_seed, shard_count):
+        # Whatever ROBOTRON_WORKERS the matrix cell pinned: bit-for-bit.
+        assert run_shard_cycle(chaos_seed, shard_count) == run_shard_cycle(
+            chaos_seed, shard_count
+        )
+
+    def test_digest_is_shard_count_oblivious(self, chaos_seed, shard_count):
+        # The metric dump legitimately differs (per-shard labels); the
+        # store itself — tables, journal, ids — must not.
+        single = run_shard_cycle(chaos_seed, 1)
+        sharded = run_shard_cycle(chaos_seed, shard_count)
+        assert sharded[0] == single[0]
+        assert sharded[1] == single[1]
