@@ -57,6 +57,10 @@ WALL_FIELDS = {
         "build_seconds",
         "provision_seconds",
     ),
+    "BENCH_rpc_cache": (
+        "uncached_seconds",
+        "cached_seconds",
+    ),
 }
 
 #: file stem -> {field: minimum} ratios that must hold absolutely.
@@ -67,6 +71,11 @@ FLOOR_FIELDS = {
     # full management cycle over a 2000+ device fleet (counts are
     # machine-neutral, so no calibration scaling applies).
     "BENCH_shard": {"devices": 2000},
+    # ROADMAP item 2's read-front-door bar: the cache must keep a 5x
+    # throughput edge (the benchmark itself asserts the 10x target; the
+    # gate leaves headroom for runner noise), serve at least 1000 cached
+    # qps in absolute terms, and stay at fleet scale.
+    "BENCH_rpc_cache": {"speedup": 5.0, "cached_qps": 1000.0, "devices": 2000},
 }
 
 #: file stem -> {field: maximum} ratios that must hold absolutely —

@@ -1,0 +1,202 @@
+"""Synthetic read workloads: Zipf-popular queries over a built fleet.
+
+Robotron's read APIs serve engineers, config generators, and dashboards —
+traffic that is famously skewed: a few hot devices (the ones being
+deployed, drained, or debugged right now) absorb most of the lookups
+while the long tail is touched rarely.  :class:`ZipfReadWorkload`
+reproduces that shape so the read-front-door benchmark and the
+cache-consistency suites exercise a realistic request stream:
+
+* object popularity follows a Zipf law — the rank-``r`` target is drawn
+  with weight ``1 / (r + 1) ** exponent`` — over a seeded shuffle of the
+  population (popularity is decoupled from alphabetical order);
+* the request *mix* blends cheap indexed lookups (a device's detail
+  page, its linecards) with expensive scan-shaped queries (every device
+  on a site, fleet-wide drain counts), mirroring dashboard traffic;
+* everything is driven by one :class:`random.Random` seed, so two
+  workloads built over byte-identical fleets produce byte-identical
+  request streams — the property the cache-consistency CI matrix leans
+  on.
+
+Requests are :class:`ReadSpec` values — model, projected fields, and the
+query in wire form — directly feedable to ``ReadApi.get``,
+``ReadCache.get``/``multi_get``, or an :class:`~repro.fbnet.rpc.RpcRequest`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.fbnet.api import ReadApi
+from repro.fbnet.models import Device
+from repro.fbnet.models.enums import DeviceStatus, DrainState
+from repro.fbnet.query import Expr, Op
+from repro.fbnet.store import ObjectStore
+
+__all__ = ["ReadSpec", "ZipfReadWorkload"]
+
+#: Request-kind mix (must sum to 1): mostly hot indexed lookups, with a
+#: scan-shaped minority — the dashboard queries that dominate wall time.
+KIND_SHARES = (
+    ("device_page", 0.45),
+    ("device_linecards", 0.25),
+    ("site_devices", 0.20),
+    ("drain_scan", 0.10),
+)
+
+#: The device detail page: one indexed unique-name lookup plus an FK
+#: dereference into the hardware profile.
+DEVICE_PAGE_FIELDS = (
+    "name",
+    "status",
+    "drain_state",
+    "hardware_profile.name",
+    "hardware_profile.vendor",
+)
+
+
+@dataclass(frozen=True)
+class ReadSpec:
+    """One read request: model, projection, and query in wire form."""
+
+    model: str
+    fields: tuple[str, ...] | None
+    query: dict | None
+    #: Which mix bucket produced it (reporting only; not part of identity).
+    kind: str = "adhoc"
+
+    def to_wire(self) -> dict:
+        """The ``multi_get`` wire form."""
+        return {
+            "model": self.model,
+            "fields": list(self.fields) if self.fields is not None else None,
+            "query": self.query,
+        }
+
+
+def _zipf_weights(count: int, exponent: float) -> list[float]:
+    return [1.0 / (rank + 1.0) ** exponent for rank in range(count)]
+
+
+class ZipfReadWorkload:
+    """A seeded stream of :class:`ReadSpec` requests over one fleet.
+
+    ``devices`` is ``(name, id)`` pairs and ``sites`` the distinct site
+    prefixes; both are shuffled by the seed so popularity rank is
+    independent of build order.  Use :meth:`over_store` to derive the
+    populations from a built store.
+    """
+
+    def __init__(
+        self,
+        devices: list[tuple[str, int]],
+        sites: list[str],
+        *,
+        seed: int = 1337,
+        exponent: float = 1.1,
+    ):
+        if not devices:
+            raise ValueError("workload needs a non-empty device population")
+        self.seed = seed
+        self.exponent = exponent
+        self._rng = random.Random(seed)
+        self._devices = sorted(devices)
+        self._sites = sorted(sites)
+        self._rng.shuffle(self._devices)
+        self._rng.shuffle(self._sites)
+        self._device_weights = _zipf_weights(len(self._devices), exponent)
+        self._site_weights = _zipf_weights(len(self._sites), exponent)
+        self._kinds = [kind for kind, _ in KIND_SHARES]
+        self._kind_weights = [share for _, share in KIND_SHARES]
+        self._drain_states = [state.value for state in DrainState]
+
+    @classmethod
+    def over_store(
+        cls,
+        store: ObjectStore,
+        *,
+        seed: int = 1337,
+        exponent: float = 1.1,
+    ) -> "ZipfReadWorkload":
+        """Derive the populations from every device in ``store``.
+
+        The site prefix is the hostname's first dotted component
+        (``'pop07.c01.psw1'`` → ``'pop07'``), matching the fleet
+        builder's naming scheme.
+        """
+        rows = ReadApi(store).get("Device", ("name",), None)
+        devices = [(row["name"], row["id"]) for row in rows]
+        sites = sorted({name.split(".", 1)[0] for name, _ in devices})
+        return cls(devices, sites, seed=seed, exponent=exponent)
+
+    # -- drawing requests ----------------------------------------------
+
+    def next(self) -> ReadSpec:
+        """Draw the next request in the stream."""
+        kind = self._rng.choices(self._kinds, weights=self._kind_weights)[0]
+        if kind == "device_page":
+            name, _ = self._pick(self._devices, self._device_weights)
+            return ReadSpec(
+                "Device",
+                DEVICE_PAGE_FIELDS,
+                Expr("name", Op.EQUAL, name).to_wire(),
+                kind=kind,
+            )
+        if kind == "device_linecards":
+            _, device_id = self._pick(self._devices, self._device_weights)
+            return ReadSpec(
+                "Linecard",
+                ("slot",),
+                Expr("device", Op.EQUAL, device_id).to_wire(),
+                kind=kind,
+            )
+        if kind == "site_devices":
+            site = self._pick(self._sites, self._site_weights)
+            return ReadSpec(
+                "Device",
+                ("name", "status"),
+                Expr("name", Op.STARTSWITH, f"{site}.").to_wire(),
+                kind=kind,
+            )
+        # drain_scan: a fleet-wide dashboard tile — deliberately a scan.
+        state = self._rng.choice(self._drain_states)
+        return ReadSpec(
+            "Device",
+            ("name",),
+            Expr("drain_state", Op.EQUAL, state).to_wire(),
+            kind="drain_scan",
+        )
+
+    def _pick(self, population: list, weights: list[float]):
+        return self._rng.choices(population, weights=weights)[0]
+
+    def requests(self, count: int) -> list[ReadSpec]:
+        """The next ``count`` requests."""
+        return [self.next() for _ in range(count)]
+
+    def batches(self, count: int, size: int) -> list[list[ReadSpec]]:
+        """``count`` multi-get batches of ``size`` requests each."""
+        return [self.requests(size) for _ in range(count)]
+
+    # -- mutation storms (for consistency suites) ----------------------
+
+    def mutation(self, store: ObjectStore) -> None:
+        """Apply one seeded mutation: flip a Zipf-popular device's state.
+
+        Drawn from the same popularity distribution as the reads, so the
+        storm concentrates invalidations on the cache's hottest entries —
+        the worst case for stale serves.
+        """
+        name, _ = self._pick(self._devices, self._device_weights)
+        device = store.filter(Device, Expr("name", Op.EQUAL, name))[0]
+        if self._rng.random() < 0.5:
+            cycle = [state.value for state in DrainState]
+            current = device.drain_state.value
+            nxt = cycle[(cycle.index(current) + 1) % len(cycle)]
+            store.update(device, drain_state=DrainState(nxt))
+        else:
+            cycle = [status.value for status in DeviceStatus]
+            current = device.status.value
+            nxt = cycle[(cycle.index(current) + 1) % len(cycle)]
+            store.update(device, status=DeviceStatus(nxt))

@@ -27,6 +27,7 @@ The package provides, mirroring the paper:
 from repro.fbnet.base import Model, ModelGroup, model_registry
 from repro.fbnet.changelog import ChangeLog, ReadSet
 from repro.fbnet.query import And, Expr, Not, Op, Or, Query
+from repro.fbnet.rpc import CachingReadService, ReadCache
 from repro.fbnet.sharding import ShardAssignment, ShardedObjectStore
 from repro.fbnet.store import ObjectStore
 
@@ -37,6 +38,7 @@ from repro.fbnet import models as _models  # noqa: E402,F401  (registration side
 
 __all__ = [
     "And",
+    "CachingReadService",
     "ChangeLog",
     "Expr",
     "Model",
@@ -46,6 +48,7 @@ __all__ = [
     "Op",
     "Or",
     "Query",
+    "ReadCache",
     "ReadSet",
     "ShardAssignment",
     "ShardedObjectStore",

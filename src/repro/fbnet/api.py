@@ -99,15 +99,22 @@ class ReadApi:
         return False
 
     def _model(self, model_name: str) -> type[Model]:
+        # resolve() also accepts abstract family names ("Device"), which
+        # the store can filter even though only concrete models register.
         try:
-            return model_registry.get(model_name)
+            return model_registry.resolve(model_name)
         except KeyError as exc:
             raise QueryError(str(exc)) from None
 
     def __getattr__(self, name: str) -> Any:
         if name.startswith("get_"):
             model_name = name[len("get_") :]
-            if model_name in model_registry:
+            try:
+                model_registry.resolve(model_name)
+                known = True
+            except KeyError:
+                known = False
+            if known:
 
                 def typed_get(
                     fields: Sequence[str] | None = None, query: Query | None = None

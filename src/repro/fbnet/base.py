@@ -46,6 +46,7 @@ class ModelRegistry:
     def __init__(self) -> None:
         self._models: dict[str, type[Model]] = {}
         self._reverse_cache: dict[str, dict[str, tuple[type[Model], str]]] | None = None
+        self._abstract_cache: dict[str, type[Model]] = {}
 
     def register(self, model: type[Model]) -> None:
         name = model.__name__
@@ -53,12 +54,35 @@ class ModelRegistry:
             raise ValueError(f"duplicate FBNet model name: {name}")
         self._models[name] = model
         self._reverse_cache = None
+        self._abstract_cache.clear()
 
     def get(self, name: str) -> type[Model]:
         try:
             return self._models[name]
         except KeyError:
             raise KeyError(f"unknown FBNet model: {name}") from None
+
+    def resolve(self, name: str) -> type[Model]:
+        """Like :meth:`get`, but also resolves *abstract* ancestor names.
+
+        Only concrete models register, yet the store can filter a whole
+        family through its abstract base (``store.filter(Device)``).
+        ``resolve("Device")`` finds that base by walking the registered
+        models' ancestries, so name-keyed read paths (the read API, the
+        RPC wire) can query model families too.  Write paths keep using
+        :meth:`get` — abstract names stay unwritable.
+        """
+        found = self._models.get(name) or self._abstract_cache.get(name)
+        if found is not None:
+            return found
+        if name != "Model":  # the root base is not a queryable family
+            for model in self._models.values():
+                for klass in model.__mro__[1:]:
+                    meta = getattr(klass, "_meta", None)
+                    if meta is not None and meta.abstract and klass.__name__ == name:
+                        self._abstract_cache[name] = klass
+                        return klass
+        raise KeyError(f"unknown FBNet model: {name}")
 
     def all(self) -> list[type[Model]]:
         return list(self._models.values())

@@ -27,7 +27,13 @@ from repro import faults, obs
 from repro.common.errors import ReplicaUnavailable, ReplicationError
 from repro.faults.retry import GiveUp, RetryPolicy
 from repro.fbnet.query import Query
-from repro.fbnet.rpc import RpcRequest, RpcResponse, ServiceReplica
+from repro.fbnet.rpc import (
+    ReadCache,
+    RpcRequest,
+    RpcResponse,
+    ServiceReplica,
+    _normalize_spec,
+)
 from repro.fbnet.store import ChangeRecord, ObjectStore
 from repro.simulation.clock import EventScheduler
 
@@ -54,6 +60,10 @@ class RegionState:
     backlog: list[tuple[int, list[ChangeRecord]]] = dc_field(default_factory=list)
     read_replicas: list[ServiceReplica] = dc_field(default_factory=list)
     write_replicas: list[ServiceReplica] = dc_field(default_factory=list)
+    #: The region's shared read-through cache (``cache_reads`` deployments).
+    #: Replication applies land in the store journal, so the cache
+    #: invalidates on apply with no extra shipping.
+    cache: ReadCache | None = None
 
     def applied_position(self) -> int:
         return self.store.journal_position
@@ -79,6 +89,7 @@ class ReplicatedFBNet:
         max_lag: float = 30.0,
         retry_policy: RetryPolicy | None = None,
         store_factory: Callable[[str], ObjectStore] | None = None,
+        cache_reads: bool = False,
     ):
         if master_region not in regions:
             raise ValueError(f"master region {master_region!r} not in {regions}")
@@ -104,9 +115,16 @@ class ReplicatedFBNet:
                 store=self._store_factory(f"fbnet-{region}"),
                 lag=replication_lag,
             )
+            if cache_reads:
+                # One cache per region, shared by its read replicas, so a
+                # fill through any replica serves the whole region.
+                state.cache = ReadCache(state.store, name=f"rpc-{region}")
             for i in range(read_replicas_per_region):
                 state.read_replicas.append(
-                    ServiceReplica(f"{region}-read-{i}", region, "read", state.store)
+                    ServiceReplica(
+                        f"{region}-read-{i}", region, "read", state.store,
+                        cache=state.cache,
+                    )
                 )
             self.regions[region] = state
         # Write replicas are deployed in the master region only.
@@ -273,7 +291,9 @@ class ReplicatedFBNet:
         if region_name == self.master_region:
             return  # master failure is handled by promote()
         for replica in region.read_replicas:
-            replica.retarget(self.master.store)
+            # While redirected, cached deployments share the master
+            # region's cache — it is bound to the master store.
+            replica.retarget(self.master.store, self.master.cache)
 
     def recover_database(self, region_name: str) -> None:
         """Bring a region's database back: resync, drain backlog, reattach."""
@@ -288,7 +308,7 @@ class ReplicatedFBNet:
         self._resync(region)
         region.db_healthy = True
         for replica in region.read_replicas:
-            replica.retarget(region.store)
+            replica.retarget(region.store, region.cache)
 
     def _resync(self, region: RegionState) -> None:
         """Bring a region's store in line with the master's journal.
@@ -311,11 +331,22 @@ class ReplicatedFBNet:
                 region.store.apply_record(record)
         else:
             mode = "full"
+            old_store = region.store
             fresh = self._store_factory(f"fbnet-{region.name}")
             for record in master_journal:
                 fresh.apply_record(record)
             region.store.detach_durability()
             region.store = fresh
+            if region.cache is not None:
+                # A full rebuild replaces the store, so the cache's
+                # journal cursors mean nothing — start one empty over the
+                # fresh store.  (Incremental resync keeps the cache: the
+                # applied tail lands in the journal and ``advance()``
+                # invalidates precisely.)
+                region.cache = ReadCache(fresh, name=region.cache.name)
+            for replica in region.read_replicas:
+                if replica._store is old_store:
+                    replica.retarget(fresh, region.cache)
         obs.counter(
             "store.replication.resync", region=region.name, mode=mode
         ).inc()
@@ -387,7 +418,7 @@ class ReplicatedFBNet:
                 continue
             self._resync(region)
             for replica in region.read_replicas:
-                replica.retarget(region.store)
+                replica.retarget(region.store, region.cache)
         return new_master.name
 
     def rejoin_old_master(self, region_name: str) -> None:
@@ -398,7 +429,7 @@ class ReplicatedFBNet:
         self._resync(region)
         region.db_healthy = True
         for replica in region.read_replicas:
-            replica.retarget(region.store)
+            replica.retarget(region.store, region.cache)
 
     def _distance(self, a: str, b: str) -> int:
         return abs(self.region_order.index(a) - self.region_order.index(b))
@@ -446,15 +477,19 @@ class ReplicatedFBNet:
         master.db_healthy = True
         master.in_flight.clear()
         master.backlog.clear()
+        if master.cache is not None:
+            master.cache = ReadCache(recovered, name=master.cache.name)
         self._install_shipping(recovered)
-        for replica in master.read_replicas + master.write_replicas:
+        for replica in master.read_replicas:
+            replica.retarget(recovered, master.cache)
+        for replica in master.write_replicas:
             replica.retarget(recovered)
         for region in self.regions.values():
             if region.name == self.master_region or not region.db_healthy:
                 continue
             self._resync(region)
             for replica in region.read_replicas:
-                replica.retarget(region.store)
+                replica.retarget(region.store, region.cache)
         return recovered
 
     # ------------------------------------------------------------------
@@ -518,6 +553,35 @@ class FBNetClient:
                 "fields": fields,
                 "query": query.to_wire() if query else None,
             },
+        )
+        return self._call(
+            request,
+            lambda: self._cluster._read_candidates(self.region, consistency),
+        )
+
+    def multi_get(
+        self,
+        specs: list[Any],
+        consistency: str = READ_LOCAL,
+    ) -> list[list[dict[str, Any]]]:
+        """Batch many ``get`` specs into one RPC (one result list per spec).
+
+        Specs are ``(model, fields, query)`` tuples or their wire-dict
+        form; against a caching deployment the whole batch is served from
+        the region cache, with misses filled together.
+        """
+        wire_specs = []
+        for spec in specs:
+            model, fields, query = _normalize_spec(spec)
+            wire_specs.append(
+                {
+                    "model": model,
+                    "fields": list(fields) if fields is not None else None,
+                    "query": query,
+                }
+            )
+        request = RpcRequest(
+            service="read", method="multi_get", args={"specs": wire_specs}
         )
         return self._call(
             request,

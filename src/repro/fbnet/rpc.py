@@ -10,21 +10,37 @@ Failure semantics match section 4.3.3: a replica whose process has
 "crashed" refuses requests, and the routing layer (in
 :mod:`repro.fbnet.replication`) redirects to surviving replicas in the
 same region, then to the nearest neighboring region.
+
+On top of raw dispatch this module provides the **read front door**
+(ROADMAP item 2): :class:`ReadCache` is a read-through cache layered
+over the read API.  Every cache entry carries the
+:class:`~repro.fbnet.changelog.ReadSet` captured while the entry's fill
+ran, plus the per-shard journal positions the fill observed; the store's
+change journal then maps each committed mutation onto *exactly* the
+entries whose read-sets it invalidates — no TTLs, no blanket flushes.
+:class:`CachingReadService` plugs the cache into a read
+:class:`ServiceReplica`, and ``multi_get`` batches many reads into one
+RPC, with misses filled through :mod:`repro.parallel` under the
+task-order merge discipline (results and counters are bit-identical at
+any worker count).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
-from repro import faults, obs
+from repro import faults, obs, parallel
 from repro.common.errors import ReplicaUnavailable, RpcError
 from repro.fbnet.api import ReadApi, WriteApi
+from repro.fbnet.changelog import ReadSet, _family
 from repro.fbnet.query import Query
 from repro.fbnet.store import ObjectStore
 
 __all__ = [
+    "CachingReadService",
+    "ReadCache",
     "ReadService",
     "RpcRequest",
     "RpcResponse",
@@ -33,6 +49,12 @@ __all__ = [
     "decode_message",
     "encode_message",
 ]
+
+#: Fan a multi-get's misses out through the worker pool only from this
+#: many fills — below it, thread handoff costs more than the fills.  The
+#: threshold keys off the (deterministic) miss count, never the worker
+#: count, so pooled and serial runs count the same metrics.
+FILL_FANOUT_MIN = 4
 
 _WIRE_VERSION = 1
 
@@ -119,6 +141,24 @@ class RpcResponse:
         return self.payload
 
 
+def _normalize_spec(spec: Any) -> tuple[str, tuple[str, ...] | None, dict | None]:
+    """One multi-get spec → ``(model, fields, query wire)``.
+
+    Accepts both the wire form (``{"model": ..., "fields": ..., "query":
+    ...}``) and the in-process form (``(model, fields, query)`` with a
+    live :class:`Query`), so clients and services share one code path.
+    """
+    if isinstance(spec, dict):
+        model, fields, query = spec.get("model"), spec.get("fields"), spec.get("query")
+    else:
+        model, fields, query = spec
+    if not isinstance(model, str):
+        raise RpcError(f"multi_get spec needs a model name, got {model!r}")
+    if isinstance(query, Query):
+        query = query.to_wire()
+    return model, tuple(fields) if fields is not None else None, query
+
+
 class ReadService:
     """Dispatches read-API RPC methods against a store."""
 
@@ -132,11 +172,335 @@ class ReadService:
                 args.get("fields"),
                 Query.from_wire(args.get("query")),
             )
+        if method == "multi_get":
+            return [
+                self._api.get(model, fields, Query.from_wire(query))
+                for model, fields, query in map(_normalize_spec, args["specs"])
+            ]
         if method == "count":
             return self._api.count(args["model"], Query.from_wire(args.get("query")))
         if method == "schema":
             return self._api.schema()
         raise RpcError(f"read service has no method {method!r}")
+
+
+@dataclass
+class _CacheEntry:
+    """One cached read result and the evidence needed to invalidate it."""
+
+    payload: Any
+    #: Everything the fill read; a journal record invalidates the entry
+    #: iff ``read_set.matches(record)``.
+    read_set: ReadSet
+    #: Per-shard journal positions observed when the fill started (one
+    #: ``""`` entry for an unsharded store) — the entry is consistent
+    #: with exactly this journal prefix.
+    positions: dict[str, int]
+    #: Model names the read-set touches (the invalidation index terms).
+    interest: tuple[str, ...]
+
+
+class ReadCache:
+    """A read-through cache over one store's read API (ROADMAP item 2).
+
+    Keying: the canonical JSON of ``(method, model, fields, query
+    wire)`` — two requests that marshal identically share one entry.
+
+    Invalidation is journal-driven and precise.  Each fill runs with
+    read tracking *suspended and replaced* (the ambient read-set of any
+    enclosing ``track_reads`` block is untouched — see
+    :meth:`~repro.fbnet.store.ObjectStore._suspend_tracking`), capturing
+    the fill's own :class:`ReadSet`.  Before every lookup the cache
+    advances over the journal delta since its last position — per shard
+    for a :class:`~repro.fbnet.sharding.ShardedObjectStore`, so a
+    mutation on shard ``s02`` walks only ``s02``'s journal — and evicts
+    exactly the entries whose read-sets the new records match
+    (``rpc.cache.invalidations``).  Because replication applies records
+    through the same journal, a cache over a replica store invalidates
+    on apply with no extra plumbing.
+
+    A fill that races a commit (records land between the fill's position
+    snapshot and its admission) is *stale on arrival*: the entry is
+    discarded (``rpc.cache.stale_evictions``) and the fill retried, so a
+    cache-served answer is always byte-identical to a fresh store read.
+    Entries never expire otherwise — no TTLs, no blanket flushes.
+    """
+
+    def __init__(self, store: ObjectStore, *, name: str = "rpc"):
+        self._store = store
+        self._api = ReadApi(store)
+        self.name = name
+        #: ``(shard key, journal source)`` pairs; one ``("", store)`` for
+        #: an unsharded store.
+        shards = getattr(store, "shards", None)
+        self._journals: tuple[tuple[str, ObjectStore], ...] = (
+            tuple((shard.shard_key, shard) for shard in shards)
+            if shards
+            else (("", store),)
+        )
+        self._positions: dict[str, int] = {
+            key: source.journal_position for key, source in self._journals
+        }
+        self._entries: dict[str, _CacheEntry] = {}
+        #: model name -> keys of entries whose read-sets touch it; the
+        #: index that maps a journal record onto its candidate entries.
+        self._interest: dict[str, set[str]] = {}
+
+    @property
+    def store(self) -> ObjectStore:
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- keying --------------------------------------------------------
+
+    @staticmethod
+    def cache_key(
+        method: str,
+        model: str,
+        fields: Sequence[str] | None,
+        query_wire: dict | None,
+    ) -> str:
+        return json.dumps(
+            [method, model, list(fields) if fields is not None else None, query_wire],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    # -- invalidation --------------------------------------------------
+
+    def advance(self) -> int:
+        """Process the journal delta since the last advance.
+
+        Every record committed (or replication-applied) since the cache
+        last looked is matched against the candidate entries' read-sets;
+        matching entries are evicted.  Returns the eviction count.
+        """
+        evicted = 0
+        for shard_key, source in self._journals:
+            position = source.journal_position
+            start = self._positions[shard_key]
+            if position <= start:
+                continue
+            for record in source.journal_since(start):
+                evicted += self._invalidate(record)
+            self._positions[shard_key] = position
+        return evicted
+
+    def _invalidate(self, record: Any) -> int:
+        candidates: set[str] = set()
+        for name in _family(record.model):
+            candidates |= self._interest.get(name, set())
+        evicted = 0
+        for key in sorted(candidates):
+            entry = self._entries.get(key)
+            if entry is not None and entry.read_set.matches(record):
+                self._discard(key, entry)
+                obs.counter("rpc.cache.invalidations", cache=self.name).inc()
+                evicted += 1
+        return evicted
+
+    def _discard(self, key: str, entry: _CacheEntry) -> None:
+        del self._entries[key]
+        for name in entry.interest:
+            bucket = self._interest.get(name)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._interest[name]
+
+    def clear(self) -> None:
+        """Drop every entry (the one blanket flush, for tests/operators)."""
+        self._entries.clear()
+        self._interest.clear()
+
+    # -- fills ---------------------------------------------------------
+
+    def _compute(
+        self,
+        method: str,
+        model: str,
+        fields: tuple[str, ...] | None,
+        query_wire: dict | None,
+    ) -> tuple[Any, ReadSet]:
+        """Run one read against the store, capturing its read-set.
+
+        Tracking is suspended first: a fill inside a caller's
+        ``track_reads`` block must not drag the cache's dependencies
+        into the *ambient* read-set (the caller did not semantically
+        perform these reads — the cache did).
+        """
+        read_set = ReadSet()
+        with self._store._suspend_tracking():
+            with self._store.track_reads(read_set):
+                if method == "count":
+                    payload: Any = self._api.count(model, Query.from_wire(query_wire))
+                else:
+                    payload = self._api.get(model, fields, Query.from_wire(query_wire))
+        return payload, read_set
+
+    def _admit(
+        self,
+        key: str,
+        payload: Any,
+        read_set: ReadSet,
+        positions: dict[str, int],
+    ) -> bool:
+        """Install a filled entry unless it is stale on arrival.
+
+        Records committed after ``positions`` (the fill's snapshot) that
+        match the fill's read-set mean the payload may predate the
+        mutation: count a stale eviction and refuse the entry.
+        """
+        for shard_key, source in self._journals:
+            for record in source.journal_since(positions[shard_key]):
+                if read_set.matches(record):
+                    obs.counter(
+                        "rpc.cache.stale_evictions", cache=self.name
+                    ).inc()
+                    return False
+        interest = tuple(
+            sorted(
+                set(read_set.models)
+                | {model for model, _ in read_set.objects}
+                | set(read_set.fields)
+            )
+        )
+        self._entries[key] = _CacheEntry(payload, read_set, positions, interest)
+        for name in interest:
+            self._interest.setdefault(name, set()).add(key)
+        return True
+
+    # -- the read-through API ------------------------------------------
+
+    def get(
+        self,
+        model: str,
+        fields: Sequence[str] | None = None,
+        query: Query | dict | None = None,
+    ) -> list[dict[str, Any]]:
+        """Read-through ``ReadApi.get``: serve the cache, fill on miss."""
+        return self._serve("get", *_normalize_spec((model, fields, query)))
+
+    def count(self, model: str, query: Query | dict | None = None) -> int:
+        """Read-through ``ReadApi.count``."""
+        return self._serve("count", *_normalize_spec((model, None, query)))
+
+    def _serve(
+        self,
+        method: str,
+        model: str,
+        fields: tuple[str, ...] | None,
+        query_wire: dict | None,
+    ) -> Any:
+        self.advance()
+        key = self.cache_key(method, model, fields, query_wire)
+        entry = self._entries.get(key)
+        if entry is not None:
+            obs.counter("rpc.cache.hits", cache=self.name).inc()
+            return entry.payload
+        obs.counter("rpc.cache.misses", cache=self.name).inc()
+        payload: Any = None
+        for _ in range(2):
+            positions = dict(self._positions)
+            payload, read_set = self._compute(method, model, fields, query_wire)
+            if self._admit(key, payload, read_set, positions):
+                return payload
+            self.advance()
+        # Two consecutive stale fills: mutations are landing faster than
+        # fills complete — serve the (fresh) last computation uncached.
+        return payload
+
+    def multi_get(self, specs: Sequence[Any]) -> list[Any]:
+        """Serve a batch of ``get`` specs, filling all misses together.
+
+        Hits and misses are classified up front against the advanced
+        cache (each request counts once, so duplicate specs within one
+        batch count one miss per occurrence but share a single fill);
+        unique misses then fill through :func:`repro.parallel.run_tasks`
+        when the batch is worth fanning out.  Admission happens on the
+        coordinator in key order, so the cache contents — and every
+        counter — are identical at any worker count.
+        """
+        self.advance()
+        normalized = [_normalize_spec(spec) for spec in specs]
+        keys = [self.cache_key("get", *spec) for spec in normalized]
+        payload_by_key: dict[str, Any] = {}
+        fill_order: list[str] = []
+        fill_specs: dict[str, tuple[str, tuple[str, ...] | None, dict | None]] = {}
+        for index, key in enumerate(keys):
+            entry = self._entries.get(key)
+            if entry is not None:
+                obs.counter("rpc.cache.hits", cache=self.name).inc()
+                payload_by_key[key] = entry.payload
+            else:
+                obs.counter("rpc.cache.misses", cache=self.name).inc()
+                if key not in fill_specs:
+                    fill_specs[key] = normalized[index]
+                    fill_order.append(key)
+        if fill_order:
+            positions = dict(self._positions)
+            computed = self._compute_fills([fill_specs[key] for key in fill_order])
+            for key, (payload, read_set) in zip(fill_order, computed):
+                self._admit(key, payload, read_set, positions)
+                payload_by_key[key] = payload
+        return [payload_by_key[key] for key in keys]
+
+    def _compute_fills(
+        self, specs: list[tuple[str, tuple[str, ...] | None, dict | None]]
+    ) -> list[tuple[Any, ReadSet]]:
+        if len(specs) >= FILL_FANOUT_MIN and parallel.current_task() is None:
+            results = parallel.run_tasks(
+                [
+                    (f"{index:06d}", (lambda s=spec: self._compute("get", *s)))
+                    for index, spec in enumerate(specs)
+                ],
+                section="rpc.cache.fill",
+            )
+            parallel.raise_first_error(results)
+            return [result.value for result in results]
+        return [self._compute("get", *spec) for spec in specs]
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """The cache's ``rpc.cache.*`` counter values (0 when untouched)."""
+        out: dict[str, float] = {}
+        for event in ("hits", "misses", "invalidations", "stale_evictions"):
+            series = obs.registry().get(f"rpc.cache.{event}", cache=self.name)
+            out[event] = series.value if series is not None else 0.0
+        out["entries"] = float(len(self._entries))
+        return out
+
+    def positions(self) -> dict[str, int]:
+        """The per-shard journal positions the cache has advanced to."""
+        return dict(self._positions)
+
+
+class CachingReadService(ReadService):
+    """A :class:`ReadService` whose reads go through a :class:`ReadCache`.
+
+    ``schema`` (registry-derived, store-independent) passes straight
+    through; ``get``/``count``/``multi_get`` are served read-through.
+    """
+
+    def __init__(self, store: ObjectStore, cache: ReadCache | None = None):
+        super().__init__(store)
+        if cache is not None and cache.store is not store:
+            raise RpcError("cache is bound to a different store")
+        self.cache = cache if cache is not None else ReadCache(store)
+
+    def dispatch(self, method: str, args: dict[str, Any]) -> Any:
+        if method == "get":
+            return self.cache.get(
+                args["model"], args.get("fields"), args.get("query")
+            )
+        if method == "multi_get":
+            return self.cache.multi_get(args["specs"])
+        if method == "count":
+            return self.cache.count(args["model"], args.get("query"))
+        return super().dispatch(method, args)
 
 
 class WriteService:
@@ -188,26 +552,49 @@ class ServiceReplica:
     router redirects.
     """
 
-    def __init__(self, name: str, region: str, kind: str, store: ObjectStore):
+    def __init__(
+        self,
+        name: str,
+        region: str,
+        kind: str,
+        store: ObjectStore,
+        cache: ReadCache | None = None,
+    ):
         if kind not in ("read", "write"):
             raise ValueError(f"replica kind must be 'read' or 'write', not {kind!r}")
+        if cache is not None and kind != "read":
+            raise ValueError("only read replicas take a cache")
         self.name = name
         self.region = region
         self.kind = kind
         self.healthy = True
         self._store = store
-        self._service: ReadService | WriteService = (
-            ReadService(store) if kind == "read" else WriteService(store)
-        )
+        self.cache = cache
+        self._service: ReadService | WriteService = self._build_service(store, cache)
         #: Requests served, for test/bench introspection.
         self.served = 0
 
-    def retarget(self, store: ObjectStore) -> None:
-        """Point this replica at a different database (after failover)."""
+    def _build_service(
+        self, store: ObjectStore, cache: ReadCache | None
+    ) -> ReadService | WriteService:
+        if self.kind == "write":
+            return WriteService(store)
+        if cache is not None:
+            return CachingReadService(store, cache)
+        return ReadService(store)
+
+    def retarget(self, store: ObjectStore, cache: ReadCache | None = None) -> None:
+        """Point this replica at a different database (after failover).
+
+        A cached read replica gets a fresh cache over the new store
+        unless the caller passes one (regions share a cache across their
+        replicas); stale entries from the old store never survive.
+        """
         self._store = store
-        self._service = (
-            ReadService(store) if self.kind == "read" else WriteService(store)
-        )
+        if self.kind == "read" and self.cache is not None:
+            cache = cache if cache is not None else ReadCache(store, name=self.cache.name)
+        self.cache = cache
+        self._service = self._build_service(store, cache)
 
     def crash(self) -> None:
         self.healthy = False

@@ -1,0 +1,131 @@
+"""Property: under any read/mutation interleaving, cache == fresh store.
+
+Hypothesis drives randomized interleavings of reads (point lookups,
+scans, counts, multi-get batches) and mutations (create / update /
+delete) against one store; every cache-served answer must equal a fresh
+uncached read taken at the same instant, and unrelated entries must
+survive (asserted via the hit counter, not just payloads).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.fbnet.api import ReadApi
+from repro.fbnet.models import Region
+from repro.fbnet.query import Expr, Op, Query
+from repro.fbnet.rpc import ReadCache
+from repro.fbnet.store import ObjectStore
+
+pytestmark = pytest.mark.rpc
+
+#: The object universe: a handful of names so reads and mutations collide.
+NAMES = ["r0", "r1", "r2", "r3"]
+
+read_op = st.tuples(
+    st.just("read"),
+    st.sampled_from(NAMES + [None]),  # None = full scan
+)
+count_op = st.tuples(st.just("count"), st.sampled_from(NAMES))
+batch_op = st.tuples(
+    st.just("batch"),
+    st.lists(st.sampled_from(NAMES), min_size=1, max_size=6),
+)
+create_op = st.tuples(st.just("create"), st.sampled_from(NAMES))
+rename_op = st.tuples(st.just("rename"), st.sampled_from(NAMES), st.sampled_from(NAMES))
+delete_op = st.tuples(st.just("delete"), st.sampled_from(NAMES))
+
+ops = st.lists(
+    st.one_of(read_op, count_op, batch_op, create_op, rename_op, delete_op),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _query(name: str | None) -> dict | None:
+    return Expr("name", Op.EQUAL, name).to_wire() if name is not None else None
+
+
+class TestCacheEquivalenceProperty:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(script=ops)
+    def test_cache_always_equals_fresh_store(self, script):
+        obs.reset()
+        store = ObjectStore()
+        api = ReadApi(store)
+        cache = ReadCache(store)
+        live: dict[str, list] = {name: [] for name in NAMES}
+        serial = 0
+        for op in script:
+            kind = op[0]
+            if kind == "read":
+                wire = _query(op[1])
+                assert cache.get("Region", ["name"], wire) == api.get(
+                    "Region", ("name",), Query.from_wire(wire)
+                )
+            elif kind == "count":
+                wire = _query(op[1])
+                assert cache.count("Region", wire) == store.count(
+                    Region, Query.from_wire(wire)
+                )
+            elif kind == "batch":
+                specs = [("Region", ("name",), _query(name)) for name in op[1]]
+                got = cache.multi_get(specs)
+                want = [
+                    api.get("Region", ("name",), Query.from_wire(_query(name)))
+                    for name in op[1]
+                ]
+                assert got == want
+            elif kind == "create":
+                # Unique index: suffix a serial so creates never collide,
+                # while the *queried* name prefix stays in the hot set.
+                serial += 1
+                obj = store.create(Region, name=f"{op[1]}-{serial}")
+                live[op[1]].append(obj)
+            elif kind == "rename":
+                if live[op[1]]:
+                    serial += 1
+                    obj = live[op[1]].pop()
+                    store.update(obj, name=f"{op[2]}-{serial}")
+                    live[op[2]].append(obj)
+            elif kind == "delete":
+                if live[op[1]]:
+                    store.delete(live[op[1]].pop())
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        hot=st.sampled_from(NAMES),
+        cold=st.sampled_from(NAMES),
+        repeats=st.integers(min_value=2, max_value=5),
+    )
+    def test_unmutated_entries_keep_serving_hits(self, hot, cold, repeats):
+        obs.reset()
+        store = ObjectStore()
+        for name in NAMES:
+            store.create(Region, name=name)
+        cache = ReadCache(store)
+        hot_query = _query(hot)
+        cold_query = _query(cold)
+        cache.get("Region", ["name"], hot_query)
+        cache.get("Region", ["name"], cold_query)
+        misses = cache.stats()["misses"]
+        for _ in range(repeats):
+            cache.get("Region", ["name"], hot_query)
+            cache.get("Region", ["name"], cold_query)
+        stats = cache.stats()
+        # Nothing mutated: every further read is a hit, no refills.
+        assert stats["misses"] == misses
+        assert stats["invalidations"] == 0
+        expected_hits = repeats * 2 if hot != cold else repeats * 2 + 1
+        assert stats["hits"] == expected_hits

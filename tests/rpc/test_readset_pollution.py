@@ -1,0 +1,75 @@
+"""Regression: cache fills must not pollute the caller's read-set.
+
+A cache fill that runs while the caller is inside ``track_reads()``
+must not drag the fill's dependencies into the *ambient* read-set: the
+caller did not semantically perform those reads, the cache did.  Before
+the fix, a configgen derivation that consulted the cache would inherit
+the cache's scan dependencies and go dirty on every mutation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fbnet.changelog import ReadSet
+from repro.fbnet.models import Region
+from repro.fbnet.query import Expr, Op
+from repro.fbnet.rpc import ReadCache
+
+pytestmark = pytest.mark.rpc
+
+
+@pytest.fixture
+def regions(store):
+    return [store.create(Region, name=f"r{i}") for i in range(3)]
+
+
+class TestReadSetPollution:
+    def test_fill_inside_track_reads_leaves_ambient_set_empty(
+        self, store, regions
+    ):
+        cache = ReadCache(store)
+        ambient = ReadSet()
+        with store.track_reads(ambient):
+            cache.get("Region", ["name"], Expr("name", Op.EQUAL, "r1"))
+        assert len(ambient) == 0
+        # The fill still captured its own dependencies (it invalidates).
+        store.update(regions[1], name="r1-renamed")
+        assert cache.get("Region", ["name"], Expr("name", Op.EQUAL, "r1")) == []
+        assert cache.stats()["invalidations"] >= 1
+
+    def test_batched_fill_inside_track_reads_leaves_ambient_set_empty(
+        self, store, regions
+    ):
+        cache = ReadCache(store)
+        ambient = ReadSet()
+        specs = [
+            ("Region", ("name",), Expr("name", Op.EQUAL, f"r{i}").to_wire())
+            for i in range(3)
+        ] + [("Region", None, None), ("Region", ("name",), None)]
+        with store.track_reads(ambient):
+            cache.multi_get(specs)
+        assert len(ambient) == 0
+        assert cache.stats()["entries"] == len(specs)
+
+    def test_callers_own_reads_are_still_tracked(self, store, regions):
+        cache = ReadCache(store)
+        ambient = ReadSet()
+        with store.track_reads(ambient):
+            store.filter(Region, Expr("name", Op.EQUAL, "r0"))
+            cache.get("Region", ["name"], Expr("name", Op.EQUAL, "r1"))
+        # The direct filter's dependency is there; the fill's are not.
+        assert len(ambient) > 0
+        assert ("name" in ambient.fields.get("Region", {}))
+        tracked = ambient.fields["Region"]["name"]
+        assert "r0" in tracked
+        assert "r1" not in tracked
+
+    def test_hit_inside_track_reads_adds_nothing(self, store, regions):
+        cache = ReadCache(store)
+        cache.get("Region", ["name"], None)
+        ambient = ReadSet()
+        with store.track_reads(ambient):
+            cache.get("Region", ["name"], None)
+        assert cache.stats()["hits"] == 1
+        assert len(ambient) == 0

@@ -1,0 +1,85 @@
+"""Region-shared read caches over replicated stores (``cache_reads=True``).
+
+Each region's read replicas share one :class:`ReadCache` bound to the
+region's replica store; replicated applies append to that store's
+journal, so the cache invalidates on arrival with no extra plumbing,
+and every failover path leaves replicas bound to a cache whose journal
+cursors belong to their live store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fbnet.query import Expr, Op
+from repro.fbnet.replication import ReplicatedFBNet
+from repro.simulation.clock import EventScheduler
+
+pytestmark = pytest.mark.rpc
+
+REGIONS = ["na-east", "eu-west"]
+
+
+@pytest.fixture
+def fbnet():
+    return ReplicatedFBNet(
+        REGIONS, "na-east", EventScheduler(),
+        replication_lag=0.5, cache_reads=True,
+    )
+
+
+class TestReplicatedCache:
+    def test_region_replicas_share_one_cache(self, fbnet):
+        region = fbnet.regions["eu-west"]
+        assert region.cache is not None
+        assert region.cache.name == "rpc-eu-west"
+        assert all(r.cache is region.cache for r in region.read_replicas)
+        # Write replicas never cache.
+        assert all(r.cache is None for r in fbnet.master.write_replicas)
+
+    def test_replicated_apply_invalidates_the_region_cache(self, fbnet):
+        client = fbnet.client("eu-west")
+        (rid,) = client.create_objects([("Region", {"name": "rx"})])
+        fbnet.scheduler.run_for(1.0)
+        query = Expr("name", Op.EQUAL, "rx")
+        assert client.get("Region", fields=["name"], query=query) == [
+            {"id": rid, "name": "rx"}
+        ]
+        assert client.get("Region", fields=["name"], query=query) == [
+            {"id": rid, "name": "rx"}
+        ]
+        cache = fbnet.regions["eu-west"].cache
+        assert cache.stats()["hits"] == 1
+        client.update_objects([("Region", rid, {"name": "ry"})])
+        fbnet.scheduler.run_for(1.0)
+        # The shipped record landed in the replica journal: the stale
+        # entry is gone and the fresh answer is served.
+        assert client.get("Region", fields=["name"], query=query) == []
+        assert cache.stats()["invalidations"] >= 1
+
+    def test_failover_rebinds_to_the_master_cache_and_back(self, fbnet):
+        client = fbnet.client("eu-west")
+        (rid,) = client.create_objects([("Region", {"name": "rx"})])
+        fbnet.disable_database("eu-west")
+        # Redirected reads go through the master's cache (bound to the
+        # master store), so the un-replicated write is already visible.
+        region = fbnet.regions["eu-west"]
+        assert all(r.cache is fbnet.master.cache for r in region.read_replicas)
+        assert client.count("Region") == 1
+        fbnet.recover_database("eu-west")
+        assert all(r.cache is region.cache for r in region.read_replicas)
+        assert region.cache.store is region.store
+        assert client.get("Region", fields=["name"]) == [{"id": rid, "name": "rx"}]
+
+    def test_promotion_leaves_no_replica_on_a_dead_cache(self, fbnet):
+        client = fbnet.client("eu-west")
+        client.create_objects([("Region", {"name": "rx"})])
+        fbnet.scheduler.run_for(1.0)
+        client.get("Region", fields=["name"])  # warm the region cache
+        fbnet.promote_nearest()
+        assert fbnet.master_region == "eu-west"
+        for region in fbnet.regions.values():
+            for replica in region.read_replicas:
+                assert replica.cache is not None
+                assert replica.cache.store is replica._store
+        assert client.count("Region") == 1
